@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures at
+reduced scale (the artifact appendix ships "tiny" variants the same
+way), prints the rows the paper reports, writes them under
+``benchmarks/output/``, and asserts the qualitative shape — who wins,
+in which direction — rather than absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `tests.conftest` importable when pytest is rooted at benchmarks/.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.experiments.configs import Scale  # noqa: E402
+from repro.experiments.result import ExperimentResult  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Scale used by benches that run a single simulation per data point.
+BENCH_SCALE = Scale(num_requests=1200, min_duration_s=650.0, label="bench")
+
+#: Scale for benches that run many simulations (goodput searches).
+SEARCH_SCALE = Scale(num_requests=800, min_duration_s=300.0,
+                     label="bench-search")
+
+
+def report(result: ExperimentResult) -> ExperimentResult:
+    """Print a result table and persist it under benchmarks/output/."""
+    text = result.render()
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{result.experiment}.txt"
+    path.write_text(text + "\n")
+    return result
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

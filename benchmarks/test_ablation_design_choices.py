@@ -1,0 +1,48 @@
+"""Design-choice ablation benches (DESIGN.md extras, beyond Table 5)."""
+
+from benchmarks.conftest import SEARCH_SCALE, report
+from repro.experiments import ablation_extras
+
+
+def test_predictor_ablation(run_once):
+    result = run_once(ablation_extras.run_predictor_ablation, SEARCH_SCALE)
+    report(result)
+
+    def tbt(name):
+        return result.row_by(predictor=name)["tbt_miss_pct"]
+
+    # More conservative prediction -> fewer pacing misses.  Notably the
+    # *exact* oracle paces worse than the biased forest: the packer may
+    # split the granted budget across requests whose attention context
+    # differs from the single-chunk shape the inversion assumed, so
+    # zero-margin predictions overrun — which is precisely why the
+    # paper tunes its predictor to err toward smaller chunks.
+    assert (
+        tbt("forest paranoid (q=1.0, x1.25)")
+        <= tbt("forest (q=0.75, x1.10)") + 0.25
+    )
+    assert (
+        tbt("forest (q=0.75, x1.10)")
+        <= tbt("forest aggressive (q=0.5, x1.0)") + 0.25
+    )
+    assert tbt("oracle") >= tbt("forest (q=0.75, x1.10)") - 0.25
+
+
+def test_preemption_ablation(run_once):
+    result = run_once(ablation_extras.run_preemption_ablation, SEARCH_SCALE)
+    report(result)
+    on = result.row_by(selective_preemption="on")
+    off = result.row_by(selective_preemption="off")
+    # Pinning at-risk in-flight prefills should not hurt Q1, and
+    # typically trims its violations.
+    assert on["q1_viol_pct"] <= off["q1_viol_pct"] + 1.0
+
+
+def test_estimator_ablation(run_once):
+    result = run_once(ablation_extras.run_estimator_ablation, SEARCH_SCALE)
+    report(result)
+    history = result.row_by(estimator="history mean+2sigma")
+    oracle = result.row_by(estimator="oracle")
+    # Section 4.4.1's claim: the simple history estimator is within
+    # noise of ground-truth decode lengths.
+    assert history["viol_pct"] <= oracle["viol_pct"] + 2.0

@@ -1,0 +1,32 @@
+"""Extension bench: ConServe-style binary collocation vs QoServe."""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import ext_conserve
+
+LOADS = (2.0, 3.5, 5.0)
+
+
+def test_ext_conserve_comparison(run_once):
+    result = run_once(ext_conserve.run, BENCH_SCALE, loads=LOADS)
+    report(result)
+
+    def row(scheme, qps):
+        return result.row_by(scheme=scheme, qps=qps)
+
+    high = LOADS[-1]
+    conserve = row("ConServe", high)
+    qoserve = row("QoServe", high)
+
+    # The binary classification's blind spot: the offline mass is
+    # served deadline-unaware, so Q2's 600 s target degrades long
+    # before QoServe's (which spends Q3's slack first).
+    assert conserve["q2_p99_s"] > qoserve["q2_p99_s"]
+    assert (
+        qoserve["viol_overall_pct"]
+        <= conserve["viol_overall_pct"] + 0.5
+    )
+    # QoServe protects the interactive class better than reactive
+    # binary collocation: harvested offline work ends up holding the
+    # KV/slot capacity interactive arrivals need during surges.
+    assert qoserve["viol_q1_pct"] <= conserve["viol_q1_pct"]
+    assert qoserve["viol_q1_pct"] <= 2.0

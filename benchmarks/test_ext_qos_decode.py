@@ -1,0 +1,31 @@
+"""Extension bench: multi-TBT decode pools (the paper's future work)."""
+
+from benchmarks.conftest import SEARCH_SCALE, report
+from repro.experiments import ext_qos_decode
+
+LOADS = (6.0, 12.0, 18.0)
+
+
+def test_ext_qos_decode_pools(run_once):
+    result = run_once(ext_qos_decode.run, SEARCH_SCALE, loads=LOADS)
+    report(result)
+
+    def strict_miss(pool, qps):
+        return result.row_by(pool=pool, qps=qps)["tbt_miss_strict_pct"]
+
+    high = LOADS[-1]
+    # Static strictest-TBT sizing (the paper's status quo) and
+    # PolyServe-style partitioning both blow the strict class's pacing
+    # once contexts are heterogeneous; the TBT-aware shared pool keeps
+    # it clean.
+    assert strict_miss("qos-shared", high) < strict_miss(
+        "strict-shared", high
+    )
+    assert strict_miss("qos-shared", high) < strict_miss(
+        "partitioned", high
+    )
+    assert strict_miss("qos-shared", high) < 2.0
+
+    # Nothing is dropped by any pool: admission queues, never rejects.
+    for row in result.rows:
+        assert row["unfinished"] == 0

@@ -1,0 +1,23 @@
+"""Extension bench: load-balancing ablation on a QoServe cluster."""
+
+from benchmarks.conftest import SEARCH_SCALE, report
+from repro.experiments import ext_routing
+
+
+def test_ext_routing(run_once):
+    result = run_once(ext_routing.run, SEARCH_SCALE)
+    report(result)
+
+    by_routing = {row["routing"]: row for row in result.rows}
+    rr = by_routing["round-robin"]
+    ll = by_routing["least-loaded"]
+    p2 = by_routing["power-of-two"]
+
+    # Load-aware routing evens per-replica work relative to blind
+    # round-robin under heavy-tailed prompts...
+    assert ll["busy_imbalance_pct"] <= rr["busy_imbalance_pct"] + 2.0
+    # ...and none of the strategies breaks SLO attainment (QoServe's
+    # per-replica scheduling absorbs most of the imbalance, which is
+    # why the paper gets away with round-robin).
+    for row in (rr, ll, p2):
+        assert row["viol_overall_pct"] <= 5.0

@@ -1,0 +1,31 @@
+"""Figure 1 bench: the paper's headline results.
+
+Top-right panel: GPUs needed for a fixed multi-tier cluster load —
+siloed SOTA vs QoServe (delegates to the Table 4 machinery).
+Bottom panels: graceful degradation under bursty load (delegates to
+the Figure 12 machinery).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, SEARCH_SCALE, report
+from repro.experiments import fig01_headline
+
+
+def test_fig01_gpu_savings(run_once):
+    result = run_once(fig01_headline.run, SEARCH_SCALE)
+    report(result)
+
+    silo = result.row_by(scheme="SOTA-Siloed")
+    qoserve = result.row_by(scheme="QoServe")
+    # Paper: 23% fewer GPUs at equal load with QoS maintained.
+    assert qoserve["gpus"] < silo["gpus"]
+    assert qoserve["viol_pct"] <= 1.0
+
+
+def test_fig01_burst_resilience(run_once):
+    result = run_once(fig01_headline.run_burst, BENCH_SCALE)
+    report(result)
+    qoserve = result.row_by(scheme="QoServe")
+    fcfs = result.row_by(scheme="Sarathi-FCFS")
+    # "QoServe maintains low latency while SOTA scheduling succumbs to
+    # cascading deadline violations under bursty loads."
+    assert qoserve["viol_overall_pct"] < 0.5 * fcfs["viol_overall_pct"]

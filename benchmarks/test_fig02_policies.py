@@ -1,0 +1,31 @@
+"""Figure 2 bench: classic multi-SLA policies vs QoServe."""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import fig02_policies
+
+LOADS = (2.0, 3.0, 4.0, 6.0)
+
+
+def test_fig02_policy_comparison(run_once):
+    result = run_once(fig02_policies.run, BENCH_SCALE, loads=LOADS)
+    report(result)
+
+    def viol(policy, qps):
+        return result.row_by(policy=policy, qps=qps)["violations_pct"]
+
+    def long_viol(policy, qps):
+        return result.row_by(policy=policy, qps=qps)[
+            "long_violations_pct"
+        ]
+
+    high = LOADS[-1]
+    # FCFS breaks down first: urgent requests stall behind non-urgent.
+    assert viol("FCFS", high) > viol("QoServe", high)
+    # EDF cannot gracefully degrade at high load.
+    assert viol("EDF", high) > viol("QoServe", high)
+    # SJF/SRPF sacrifice long jobs even when QoServe does not.
+    assert long_viol("SRPF", high) > long_viol("QoServe", high)
+    # QoServe minimizes violations across all load conditions.
+    for qps in LOADS:
+        competitors = [viol(p, qps) for p in ("FCFS", "SJF", "SRPF", "EDF")]
+        assert viol("QoServe", qps) <= min(competitors) + 1.0

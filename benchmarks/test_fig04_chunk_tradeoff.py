@@ -1,0 +1,31 @@
+"""Figure 4 bench: the chunk-size throughput/latency profile."""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import fig04_chunk_tradeoff
+
+
+def test_fig04_chunk_tradeoff(run_once):
+    result = run_once(fig04_chunk_tradeoff.run, BENCH_SCALE)
+    report(result)
+
+    throughput = {
+        row["chunk_size"]: row["throughput_tokens_per_s"]
+        for row in result.rows
+    }
+    latency = {
+        row["chunk_size"]: row["batch_latency_ms"] for row in result.rows
+    }
+
+    # Throughput rises steeply then saturates near chunk 2500 (paper:
+    # "throughput saturates around 2500, we choose that as the maximum
+    # chunk size").
+    assert throughput[2500] > 1.5 * throughput[256]
+    assert abs(throughput[4096] - throughput[2500]) < 0.1 * throughput[2500]
+
+    # Latency grows monotonically; the 50 ms SLO line falls between
+    # chunk 256 and 512 (paper annotates chunk ~330).
+    chunks = sorted(latency)
+    assert all(
+        latency[a] <= latency[b] for a, b in zip(chunks, chunks[1:])
+    )
+    assert latency[256] < 55.0 < latency[512]

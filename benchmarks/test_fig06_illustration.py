@@ -1,0 +1,20 @@
+"""Figure 6 bench: the five-request dynamic-chunking walkthrough."""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import fig06_illustration
+
+
+def test_fig06_walkthrough(run_once):
+    result = run_once(fig06_illustration.run, BENCH_SCALE)
+    report(result)
+
+    sota = result.row_by(scheduler="SOTA (FCFS, chunk 256)")
+    qoserve = result.row_by(scheduler="QoServe")
+
+    # The figure's two claims: (1) QoServe prioritizes A by deadline
+    # (FCFS leaves it stuck behind B/C's prefill, missing its 2 s
+    # TTFT); (2) dynamic chunking finishes the batch work sooner.
+    assert qoserve["a_ttft_s"] < 2.0 <= sota["a_ttft_s"]
+    assert qoserve["makespan_s"] < sota["makespan_s"]
+    assert qoserve["missed_deadlines"] < sota["missed_deadlines"]
+    assert qoserve["missed_deadlines"] == 0

@@ -1,0 +1,22 @@
+"""Figure 9 bench: dynamic chunk sizes over consecutive batches."""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import fig09_chunk_trace
+
+
+def test_fig09_chunk_trace(run_once):
+    result = run_once(fig09_chunk_trace.run, BENCH_SCALE)
+    report(result)
+
+    chunks = [row["chunk_size"] for row in result.rows]
+    assert len(chunks) >= 100
+
+    # The scheduler actually varies chunk size with slack: both large
+    # (near the 2500 saturation cap) and small chunks appear.
+    assert max(chunks) >= 2000
+    assert min(chunks) < 1000
+    # Execution time tracks chunk size.
+    big = [r["exec_time_ms"] for r in result.rows if r["chunk_size"] >= 2000]
+    small = [r["exec_time_ms"] for r in result.rows if r["chunk_size"] <= 512]
+    if big and small:
+        assert (sum(big) / len(big)) > (sum(small) / len(small))

@@ -1,0 +1,78 @@
+"""Figures 10 and 11 bench: latency and violations under load.
+
+One sweep powers both figures (as in the paper); the two tests project
+and check each figure's panels.  Coverage follows the artifact
+appendix: Llama3-8B TP1 on the Azure Code trace with a coarser QPS
+grid than the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import fig10_11_load_sweep
+
+LOADS = (2.0, 3.0, 4.5, 6.0)
+
+_cache = {}
+
+
+def _sweep():
+    if "result" not in _cache:
+        _cache["result"] = fig10_11_load_sweep.run(
+            BENCH_SCALE, loads=LOADS
+        )
+    return _cache["result"]
+
+
+def test_fig10_latency_under_load(run_once):
+    combined = run_once(_sweep)
+    result = report(fig10_11_load_sweep.figure10_view(combined))
+
+    def q1_p95(scheme, qps):
+        return result.row_by(scheme=scheme, qps=qps)["q1_p95_s"]
+
+    high = LOADS[-1]
+    # QoServe keeps Q1 tail latency within SLO territory at loads where
+    # FCFS has collapsed into head-of-line blocking.
+    assert q1_p95("QoServe", high) < q1_p95("Sarathi-FCFS", high)
+    assert q1_p95("QoServe", high) < 10.0
+    # At low load every scheme is comfortable.
+    assert q1_p95("Sarathi-EDF", LOADS[0]) < 10.0
+
+
+def test_fig11_violations(run_once):
+    combined = run_once(_sweep)
+    result = report(fig10_11_load_sweep.figure11_view(combined))
+
+    def row(scheme, qps):
+        return result.row_by(scheme=scheme, qps=qps)
+
+    high = LOADS[-1]
+    # QoServe has the fewest overall violations at every load.
+    for qps in LOADS:
+        qoserve = row("QoServe", qps)["viol_overall_pct"]
+        for scheme in ("Sarathi-FCFS", "Sarathi-SRPF", "Sarathi-EDF"):
+            assert qoserve <= row(scheme, qps)["viol_overall_pct"] + 1.0
+
+    # SRPF starves long requests (Figure 11c).
+    srpf = row("Sarathi-SRPF", high)
+    assert srpf["viol_long_pct"] > srpf["viol_short_pct"]
+
+    # FCFS violates the strictest bucket first (Figure 11d).
+    fcfs = row("Sarathi-FCFS", high)
+    assert fcfs["viol_q1_pct"] >= fcfs["viol_q3_pct"]
+
+    # QoServe sustains roughly 40% more load at zero violations than
+    # the best baseline does (paper Section 4.2).
+    def max_clean_load(scheme):
+        clean = [
+            qps for qps in LOADS
+            if row(scheme, qps)["viol_overall_pct"] <= 1.0
+        ]
+        return max(clean) if clean else 0.0
+
+    best_baseline = max(
+        max_clean_load(s)
+        for s in ("Sarathi-FCFS", "Sarathi-SRPF", "Sarathi-EDF")
+    )
+    assert max_clean_load("QoServe") >= best_baseline

@@ -1,0 +1,37 @@
+"""Figure 14 bench: the hybrid prioritization parameter alpha."""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments import fig14_alpha_sweep
+
+LOADS = (2.0, 4.0, 6.0)
+
+
+def test_fig14_alpha_tradeoff(run_once):
+    result = run_once(
+        fig14_alpha_sweep.run, BENCH_SCALE, loads=LOADS
+    )
+    report(result)
+
+    def row(alpha, qps):
+        return result.row_by(alpha_ms_per_token=alpha, qps=qps)
+
+    high = LOADS[-1]
+    mid = LOADS[len(LOADS) // 2]
+    # Larger alpha deprioritizes long requests: median latency falls
+    # at and beyond the saturation point...
+    assert (
+        row(4.0, high)["median_latency_s"]
+        <= row(0.0, high)["median_latency_s"]
+    )
+    assert (
+        row(4.0, mid)["median_latency_s"]
+        <= row(0.0, mid)["median_latency_s"]
+    )
+    # ...at the cost of violating more long-request deadlines.  The
+    # fairness penalty shows in the overloaded-but-not-collapsed
+    # region; at total collapse (alpha=0 EDF melts down) everyone
+    # violates, which is exactly why alpha must grow with load.
+    assert (
+        row(4.0, mid)["long_violations_pct"]
+        >= row(0.0, mid)["long_violations_pct"] - 1.0
+    )

@@ -1,0 +1,29 @@
+"""Table 4 / Figure 1 bench: cluster-scale silo vs QoServe."""
+
+from benchmarks.conftest import SEARCH_SCALE, report
+from repro.experiments import tab04_cluster_scale
+
+
+def test_tab04_cluster_scale(run_once):
+    result = run_once(tab04_cluster_scale.run, SEARCH_SCALE)
+    report(result)
+
+    tuned_silo, squeezed_silo, qoserve = result.rows
+
+    # QoServe serves the same cluster load with fewer GPUs than the
+    # goodput-tuned silo (paper: 13 vs 10, a 23% saving) while keeping
+    # violations at/near zero.
+    assert qoserve["gpus"] < tuned_silo["gpus"]
+    assert qoserve["viol_overall_pct"] <= 1.0
+
+    # Squeezing the silo down to QoServe's budget wrecks it (paper:
+    # 60.4% violations at (6,2,2)).
+    assert squeezed_silo["gpus"] <= qoserve["gpus"]
+    assert (
+        squeezed_silo["viol_overall_pct"]
+        > max(1.0, 5 * tuned_silo["viol_overall_pct"])
+    )
+
+    # The tuned silo meets SLOs — the comparison is about cost, not
+    # feasibility.
+    assert tuned_silo["viol_overall_pct"] <= 5.0

@@ -1,0 +1,26 @@
+"""Table 5 bench: contribution of each QoServe technique."""
+
+from benchmarks.conftest import SEARCH_SCALE, report
+from repro.experiments import tab05_ablation
+
+
+def test_tab05_ablation(run_once):
+    result = run_once(tab05_ablation.run, SEARCH_SCALE)
+    report(result)
+
+    goodput = {row["config"]: row["goodput_qps"] for row in result.rows}
+    viol = {
+        row["config"]: row["high_load_viol_pct"] for row in result.rows
+    }
+
+    # Dynamic chunking is the big goodput lever (paper: +20%; larger
+    # here because AzCode is decode-light, leaving more slack).
+    assert goodput["QoServe (DC)"] > goodput["Sarathi-EDF"] * 1.1
+    # Each additional technique never hurts goodput materially.
+    assert goodput["QoServe (DC+ER)"] >= goodput["QoServe (DC)"] * 0.95
+    assert (
+        goodput["QoServe (DC+ER+HP)"] >= goodput["QoServe (DC+ER)"] * 0.95
+    )
+    # At high load the full stack has far fewer violations than the
+    # EDF baseline (paper: 100% -> 16%).
+    assert viol["QoServe (DC+ER+HP)"] < viol["Sarathi-EDF"]

@@ -1,0 +1,40 @@
+"""Table 6 bench: skewed workload mixes and modified SLOs."""
+
+from benchmarks.conftest import BENCH_SCALE, SEARCH_SCALE, report
+from repro.experiments import tab06_composition
+
+
+def test_tab06_skewed_compositions(run_once):
+    result = run_once(tab06_composition.run, BENCH_SCALE)
+    report(result)
+
+    for mix in ("70-15-15", "15-15-70"):
+        qoserve = result.row_by(composition=mix, scheme="QoServe")
+        fcfs = result.row_by(composition=mix, scheme="Sarathi-FCFS")
+        edf = result.row_by(composition=mix, scheme="Sarathi-EDF")
+        # QoServe never violates more than the baselines, and on the
+        # interactive-heavy skew it is an order of magnitude better
+        # (paper: <=5% vs ~100% / ~98%).  On the batch-heavy skew the
+        # reduced-scale window is too short for Q3's 1800 s TTLT to
+        # blow, so the gain shows as backlog clearance (lower Q3
+        # median) rather than recorded violations.
+        assert qoserve["viol_pct"] <= fcfs["viol_pct"]
+        assert qoserve["viol_pct"] <= edf["viol_pct"]
+        assert qoserve["q3_p50_s"] < edf["q3_p50_s"]
+        # Per-tier medians stay inside the Table 3 SLOs.
+        assert qoserve["q1_p50_s"] < 6.0
+        assert qoserve["q2_p50_s"] < 600.0
+        assert qoserve["q3_p50_s"] < 1800.0
+    vip_mix = result.row_by(composition="70-15-15", scheme="QoServe")
+    vip_fcfs = result.row_by(composition="70-15-15", scheme="Sarathi-FCFS")
+    assert vip_mix["viol_pct"] < 0.25 * vip_fcfs["viol_pct"]
+
+
+def test_tab06_slo_variation(run_once):
+    result = run_once(tab06_composition.run_slo_variation, SEARCH_SCALE)
+    report(result)
+    edf = result.row_by(scheme="Sarathi-EDF")["goodput_qps"]
+    qoserve = result.row_by(scheme="QoServe")["goodput_qps"]
+    # Paper: QoServe 5.0 vs Sarathi-EDF 3.7 QPS under the modified
+    # (3s,50ms)/(6s,50ms)/(1000s) SLOs.
+    assert qoserve > edf

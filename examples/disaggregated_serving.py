@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Prefill/decode disaggregation with QoS-aware prefill scheduling.
+
+The Section 4.1.3 scenario: prefill nodes run with a large 8K chunk
+budget (no colocated decodes to pace), feeding a fixed decode pool.
+QoServe's hybrid prioritization and eager relegation still apply on
+the prefill side; this example measures how many prefill replicas each
+policy needs for a target load.
+
+Run:
+    python examples/disaggregated_serving.py
+"""
+
+from repro import AZURE_CONV, DisaggregatedDeployment, QoServeConfig
+from repro.cluster.capacity import find_max_goodput, stable_drain
+from repro.experiments.configs import get_execution_model
+from repro.experiments.runner import build_trace, scheduler_factory
+
+TARGET_QPS = 30.0
+CHUNK = 8192
+NUM_REQUESTS = 800
+
+
+def prefill_goodput(scheme: str, execution_model) -> float:
+    base = build_trace(AZURE_CONV, qps=1.0, num_requests=NUM_REQUESTS,
+                       seed=3)
+    if scheme == "qoserve":
+        kwargs = {"qoserve_config": QoServeConfig(
+            max_chunk_size=CHUNK, fixed_chunk_size=CHUNK)}
+    else:
+        kwargs = {"chunk_size": CHUNK}
+
+    def evaluate(qps):
+        deployment = DisaggregatedDeployment(
+            execution_model,
+            scheduler_factory(scheme, execution_model, **kwargs),
+        )
+        trace = base.scaled_arrivals(qps)
+        deployment.submit_trace(trace)
+        deployment.run()
+        summary = deployment.summarize()
+        arrivals = [r.arrival_time for r in trace]
+        summary.drain_time = deployment.simulator.now - max(arrivals)
+        summary.arrival_span = max(arrivals) - min(arrivals)
+        return summary
+
+    return find_max_goodput(
+        evaluate, qps_high=20.0, tolerance=0.25,
+        extra_criterion=stable_drain,
+    ).max_qps
+
+
+def main() -> None:
+    execution_model = get_execution_model("llama3-8b")
+    print(f"disaggregated serving of AzConv at {TARGET_QPS:.0f} QPS, "
+          f"prefill chunk {CHUNK}\n")
+    print(f"{'policy':16s} {'goodput/replica':>16s} "
+          f"{'prefill replicas':>17s}")
+    print("-" * 52)
+    for scheme in ("fcfs", "edf", "qoserve"):
+        goodput = prefill_goodput(scheme, execution_model)
+        replicas = -(-TARGET_QPS // max(goodput, 1e-9))
+        name = f"Sarathi-{scheme.upper()}" if scheme != "qoserve" \
+            else "QoServe"
+        print(f"{name:16s} {goodput:13.2f} QPS {int(replicas):17d}")
+    print("\nDeadline-aware prefill scheduling (EDF/QoServe) needs far "
+          "fewer\nprefill replicas than FCFS — the Figure 8 claim.  At "
+          "the 8K chunk\nthere is no dynamic-chunking headroom, so EDF "
+          "and QoServe run close.")
+
+
+if __name__ == "__main__":
+    main()

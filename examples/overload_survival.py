@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Overload survival: graceful degradation with application hints.
+
+Models the Section 4.3 scenario: a diurnal load that repeatedly bursts
+to 2.5x the trough rate, with 20% of traffic marked as free-tier via
+application hints.  Compares Sarathi-FCFS, Sarathi-EDF and QoServe on
+the same replica and shows how eager relegation sheds just enough
+low-priority work to keep every important request within SLO.
+
+Run:
+    python examples/overload_survival.py
+"""
+
+from repro import DiurnalArrivals, AZURE_CODE, TierAssigner, TraceBuilder
+from repro.experiments.configs import get_execution_model
+from repro.experiments.runner import make_scheduler, run_replica_trace
+from repro.metrics.latency import rolling_percentile
+
+NUM_REQUESTS = 2500
+SCHEMES = ("fcfs", "edf", "qoserve")
+
+
+def build_trace():
+    return TraceBuilder(
+        AZURE_CODE,
+        arrivals=DiurnalArrivals(low_qps=2.0, high_qps=5.0,
+                                 phase_duration=120.0),
+        tier_assigner=TierAssigner(low_priority_fraction=0.20),
+        seed=13,
+    ).build(NUM_REQUESTS)
+
+
+def main() -> None:
+    execution_model = get_execution_model("llama3-8b")
+    print(f"diurnal load 2.0 <-> 5.0 QPS, {NUM_REQUESTS} requests, "
+          f"20% free-tier\n")
+    header = (f"{'scheme':14s} {'viol%':>7s} {'important%':>11s} "
+              f"{'free%':>7s} {'relegated%':>11s} {'Q1 burst p95':>13s}")
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEMES:
+        trace = build_trace()
+        scheduler = make_scheduler(scheme, execution_model)
+        summary, engine = run_replica_trace(
+            execution_model, scheduler, trace
+        )
+        violations = summary.violations
+        # Peak of the rolling p95 across Q1's important requests: the
+        # "did the burst hurt paying users?" number.  (p95 rather than
+        # p99: a 60-second window holds only a few dozen requests, so
+        # p99 would be a single-sample statistic.)
+        q1_important = [
+            r for r in trace if r.qos.name == "Q1" and r.important
+        ]
+        _, series = rolling_percentile(q1_important, 0.95, window=60.0)
+        peak = max(x for x in series if x == x)
+        name = f"Sarathi-{scheme.upper()}" if scheme != "qoserve" \
+            else "QoServe"
+        print(f"{name:14s} {violations.overall_pct:7.2f} "
+              f"{violations.important_pct:11.2f} "
+              f"{violations.low_priority_pct:7.2f} "
+              f"{violations.relegated_pct:11.2f} "
+              f"{peak:12.1f}s")
+    print("\nQoServe relegates a sliver of free-tier traffic during the "
+          "bursts;\nimportant requests ride through every peak.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,190 @@
+"""Command-line interface: run paper experiments by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig04 [--scale smoke|bench|full] [--out FILE]
+    python -m repro run all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import BENCH, FULL, SMOKE, Scale
+from repro.experiments.result import ExperimentResult
+
+SCALES = {"smoke": SMOKE, "bench": BENCH, "full": FULL}
+
+
+def _registry() -> dict[str, tuple[str, Callable[[Scale], list]]]:
+    """Experiment name -> (description, runner returning result list).
+
+    Imports are deferred so ``python -m repro list`` stays instant.
+    """
+
+    def runner(module_name: str, *functions: str):
+        def run(scale: Scale) -> list[ExperimentResult]:
+            import importlib
+
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}"
+            )
+            return [getattr(module, fn)(scale) for fn in functions]
+
+        return run
+
+    return {
+        "fig01": ("headline: GPU savings + burst resilience",
+                  runner("fig01_headline", "run", "run_burst")),
+        "fig02": ("classic policies vs QoServe",
+                  runner("fig02_policies", "run")),
+        "fig04": ("chunk-size throughput/latency trade-off",
+                  runner("fig04_chunk_tradeoff", "run")),
+        "fig05": ("eager relegation under overload",
+                  runner("fig05_relegation", "run")),
+        "fig06": ("the five-request walkthrough, executed",
+                  runner("fig06_illustration", "run")),
+        "fig07": ("goodput per replica, PD colocation",
+                  runner("fig07_goodput", "run")),
+        "fig08": ("goodput per prefill replica, PD disaggregation",
+                  runner("fig08_disagg", "run")),
+        "fig09": ("dynamic chunk-size trace",
+                  runner("fig09_chunk_trace", "run")),
+        "fig10-11": ("latency and violations under load",
+                     runner("fig10_11_load_sweep", "run")),
+        "fig12-13": ("diurnal transient overload",
+                     runner("fig12_13_transient", "run",
+                            "run_rolling_latency")),
+        "fig14": ("alpha sensitivity",
+                  runner("fig14_alpha_sweep", "run")),
+        "fig15": ("Medha and PolyServe comparisons",
+                  runner("fig15_concurrent_work", "run_medha_comparison",
+                         "run_medha_goodput", "run_polyserve_comparison")),
+        "tab04": ("cluster-scale silo vs QoServe",
+                  runner("tab04_cluster_scale", "run")),
+        "tab05": ("technique ablation",
+                  runner("tab05_ablation", "run")),
+        "tab06": ("workload mixes and SLO variation",
+                  runner("tab06_composition", "run", "run_slo_variation")),
+        "ablations": ("design-choice ablations (predictor, preemption, "
+                      "estimator)",
+                      runner("ablation_extras", "run_predictor_ablation",
+                             "run_preemption_ablation",
+                             "run_estimator_ablation")),
+        "ext-decode": ("extension: multi-TBT decode pools",
+                       runner("ext_qos_decode", "run")),
+        "ext-conserve": ("extension: ConServe-style binary collocation",
+                         runner("ext_conserve", "run")),
+        "ext-autoscaling": ("extension: autoscaled vs static provisioning",
+                            runner("ext_autoscaling", "run")),
+        "ext-routing": ("extension: cluster load-balancing ablation",
+                        runner("ext_routing", "run")),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QoServe reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    report_parser = sub.add_parser(
+        "report", help="regenerate a markdown reproduction report"
+    )
+    report_parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="smoke",
+    )
+    report_parser.add_argument(
+        "--out", type=Path, default=Path("reproduction_report.md"),
+    )
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment names (see 'list') or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="smoke",
+        help="run size preset (default: smoke)",
+    )
+    run_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also append rendered tables to this file",
+    )
+    run_parser.add_argument(
+        "--plot", metavar="COLUMN", default=None,
+        help="also render an ASCII chart of COLUMN (x axis and series "
+             "are auto-detected)",
+    )
+    run_parser.add_argument(
+        "--log-y", action="store_true",
+        help="log-scale the --plot y axis",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = _registry()
+
+    if args.command == "list":
+        width = max(len(name) for name in registry)
+        for name, (description, _) in registry.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        path = write_report(
+            registry, SCALES[args.scale], args.out,
+            scale_label=args.scale,
+        )
+        print(f"report written to {path}")
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+
+    scale = SCALES[args.scale]
+    exit_code = 0
+    for name in names:
+        description, run = registry[name]
+        print(f"--- {name}: {description} (scale={args.scale}) ---")
+        started = time.time()
+        results = run(scale)
+        elapsed = time.time() - started
+        for result in results:
+            text = result.render()
+            print(text)
+            print()
+            if args.plot is not None:
+                from repro.experiments.plotting import plot_result
+
+                try:
+                    print(plot_result(result, args.plot,
+                                      log_y=args.log_y))
+                except KeyError as error:
+                    print(f"(plot skipped: {error})")
+                print()
+            if args.out is not None:
+                with args.out.open("a") as sink:
+                    sink.write(text + "\n\n")
+        print(f"[{name} done in {elapsed:.1f}s]")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

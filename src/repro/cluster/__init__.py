@@ -1,0 +1,38 @@
+"""Multi-replica deployments: shared vs siloed clusters, load
+balancing, capacity planning and PD disaggregation."""
+
+from repro.cluster.deployment import (
+    ClusterDeployment,
+    SiloedDeployment,
+    SiloSpec,
+)
+from repro.cluster.capacity import (
+    CapacityResult,
+    find_max_goodput,
+    replicas_needed,
+)
+from repro.cluster.disagg import DecodePool, DisaggregatedDeployment
+from repro.cluster.decode_pool import (
+    PartitionedDecodePool,
+    QoSSharedDecodePool,
+    StrictSharedDecodePool,
+    max_batch_for_tbt,
+)
+from repro.cluster.autoscaler import AutoscalerConfig, AutoscalingDeployment
+
+__all__ = [
+    "ClusterDeployment",
+    "SiloedDeployment",
+    "SiloSpec",
+    "CapacityResult",
+    "find_max_goodput",
+    "replicas_needed",
+    "DecodePool",
+    "DisaggregatedDeployment",
+    "PartitionedDecodePool",
+    "QoSSharedDecodePool",
+    "StrictSharedDecodePool",
+    "max_batch_for_tbt",
+    "AutoscalerConfig",
+    "AutoscalingDeployment",
+]

@@ -1,0 +1,144 @@
+"""Capacity planning: max goodput search and GPU provisioning.
+
+Goodput (Section 4.1.2): "the number of requests served per replica
+per second while meeting the latency targets (p99).  We allow at most
+1% of total requests to violate their deadlines."  The search runs the
+same request bodies at scaled arrival rates and bisects the largest
+rate whose violation share stays under the bar.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.metrics.summary import RunSummary
+
+
+@dataclass
+class CapacityResult:
+    """Outcome of a goodput search.
+
+    Attributes:
+        max_qps: Highest load (QPS) satisfying the goodput bar.
+        evaluations: ``(qps, violation_pct)`` pairs probed, in order.
+        summary_at_max: Run summary at the returned operating point.
+    """
+
+    max_qps: float
+    evaluations: list[tuple[float, float]] = field(default_factory=list)
+    summary_at_max: RunSummary | None = None
+
+
+def stable_drain(summary: RunSummary, drain_fraction: float = 0.40,
+                 drain_floor: float = 120.0,
+                 trend_fraction: float = 0.05,
+                 trend_floor: float = 12.0) -> bool:
+    """Steady-state check for finite-trace capacity estimates.
+
+    A finite trace hides beyond-capacity operation inside the long-TTLT
+    tiers: their deadlines only blow after the measurement window ends.
+    Two signals reject such divergent operating points:
+
+    * **Queue-delay trend** — in steady state the mean queueing delay
+      of late arrivals matches mid-run arrivals; beyond capacity it
+      ramps linearly with time.  This is the primary signal because it
+      is insensitive to intrinsic service tails (long decodes).
+    * **Drain time** — a loose backstop on the post-arrival backlog,
+      with a generous floor so decode-heavy workloads whose last
+      requests legitimately run for a minute or two still pass.
+    """
+    if summary.arrival_span <= 0:
+        return True
+    trend_bound = max(trend_floor, trend_fraction * summary.arrival_span)
+    if summary.queue_delay_trend > trend_bound:
+        return False
+    drain_bound = max(drain_floor, drain_fraction * summary.arrival_span)
+    return summary.drain_time <= drain_bound
+
+
+def find_max_goodput(
+    evaluate: Callable[[float], RunSummary],
+    qps_low: float = 0.25,
+    qps_high: float = 16.0,
+    violation_bar_pct: float = 1.0,
+    tolerance: float = 0.1,
+    max_iterations: int = 24,
+    extra_criterion: Callable[[RunSummary], bool] | None = stable_drain,
+) -> CapacityResult:
+    """Bisect the largest QPS whose violations stay under the bar.
+
+    Args:
+        evaluate: Runs one simulation at the given QPS and returns its
+            summary.  Must be deterministic for a given QPS.
+        qps_low: A rate assumed feasible; if even this violates, the
+            result's ``max_qps`` is 0.
+        qps_high: Upper bracket for the search.
+        violation_bar_pct: Goodput criterion (paper: 1%).
+        tolerance: Bisection resolution in QPS.
+        max_iterations: Safety cap on evaluations.
+        extra_criterion: Additional feasibility predicate; defaults to
+            :func:`stable_drain`.  Pass ``None`` to disable.
+    """
+    if qps_low <= 0 or qps_high <= qps_low:
+        raise ValueError("need 0 < qps_low < qps_high")
+    result = CapacityResult(max_qps=0.0)
+
+    def ok(qps: float) -> tuple[bool, RunSummary]:
+        summary = evaluate(qps)
+        pct = summary.violations.overall_pct
+        result.evaluations.append((qps, pct))
+        feasible = (
+            not math.isnan(pct) and pct <= violation_bar_pct
+        )
+        if feasible and extra_criterion is not None:
+            feasible = extra_criterion(summary)
+        return feasible, summary
+
+    feasible, summary = ok(qps_low)
+    if not feasible:
+        return result
+    result.max_qps = qps_low
+    result.summary_at_max = summary
+
+    # Grow the bracket until infeasible (or the cap is reached).
+    hi = qps_low
+    iterations = 1
+    while hi < qps_high and iterations < max_iterations:
+        hi = min(qps_high, hi * 2.0)
+        feasible, summary = ok(hi)
+        iterations += 1
+        if feasible:
+            result.max_qps = hi
+            result.summary_at_max = summary
+            if hi >= qps_high:
+                return result
+        else:
+            break
+    else:
+        return result
+
+    lo = result.max_qps
+    while hi - lo > tolerance and iterations < max_iterations:
+        mid = 0.5 * (lo + hi)
+        feasible, summary = ok(mid)
+        iterations += 1
+        if feasible:
+            lo = mid
+            result.max_qps = mid
+            result.summary_at_max = summary
+        else:
+            hi = mid
+    return result
+
+
+def replicas_needed(
+    total_qps: float, per_replica_goodput: float
+) -> int:
+    """Replicas required to carry ``total_qps`` within SLO."""
+    if per_replica_goodput <= 0:
+        raise ValueError("per_replica_goodput must be positive")
+    if total_qps <= 0:
+        return 0
+    return math.ceil(total_qps / per_replica_goodput)

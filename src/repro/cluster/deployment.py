@@ -1,0 +1,204 @@
+"""Shared and siloed cluster deployments (Sections 2.2 and 4.1.1).
+
+A *shared* deployment co-schedules all QoS tiers on every replica with
+round-robin load balancing — QoServe's model.  A *siloed* deployment
+partitions replicas into per-tier pools, each pool running its own
+scheduler and chunk size — the production state of the art the paper
+compares against (Sarathi-Silo), with round-robin inside each pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.request import Request
+from repro.engine.interface import Scheduler
+from repro.engine.replica import ReplicaConfig, ReplicaEngine
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.perfmodel.execution import ExecutionModel
+from repro.simcore.simulator import Simulator
+from repro.workload.trace import Trace
+
+SchedulerFactory = Callable[[], Scheduler]
+
+#: Routing strategies for :class:`ClusterDeployment`.  The paper's
+#: deployments use round-robin ("Both deployments use round-robin load
+#: balancing across replicas"); least-loaded and power-of-two-choices
+#: are provided for provisioning studies — with heavy-tailed prompt
+#: lengths, load-aware routing smooths the per-replica work imbalance
+#: round-robin leaves behind.
+ROUTING_STRATEGIES = ("round-robin", "least-loaded", "power-of-two")
+
+
+class ClusterDeployment:
+    """A pool of identical replicas behind a load balancer."""
+
+    def __init__(
+        self,
+        execution_model: ExecutionModel,
+        scheduler_factory: SchedulerFactory,
+        num_replicas: int,
+        replica_config: ReplicaConfig | None = None,
+        simulator: Simulator | None = None,
+        routing: str = "round-robin",
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if routing not in ROUTING_STRATEGIES:
+            raise ValueError(
+                f"unknown routing {routing!r}; "
+                f"options: {ROUTING_STRATEGIES}"
+            )
+        self.simulator = simulator or Simulator()
+        self.execution_model = execution_model
+        self.routing = routing
+        self.replicas = [
+            ReplicaEngine(
+                self.simulator,
+                execution_model,
+                scheduler_factory(),
+                replica_config or ReplicaConfig(),
+                replica_id=i,
+            )
+            for i in range(num_replicas)
+        ]
+        self._next_replica = 0
+        self._submitted: list[Request] = []
+        # Deterministic stream for power-of-two sampling.
+        self._route_rng = np.random.default_rng(0xC1053E)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def gpus_used(self) -> int:
+        return self.num_replicas * self.execution_model.tp_degree
+
+    def _outstanding(self, replica: ReplicaEngine) -> int:
+        return (
+            replica.running_requests
+            + len(replica.scheduler.pending_requests())
+        )
+
+    def _pick_replica(self) -> ReplicaEngine:
+        if self.routing == "round-robin" or self.num_replicas == 1:
+            replica = self.replicas[self._next_replica]
+            self._next_replica = (
+                self._next_replica + 1
+            ) % self.num_replicas
+            return replica
+        if self.routing == "least-loaded":
+            return min(self.replicas, key=self._outstanding)
+        # power-of-two: sample two distinct replicas, keep the lighter.
+        first, second = self._route_rng.choice(
+            self.num_replicas, size=2, replace=False
+        )
+        a, b = self.replicas[int(first)], self.replicas[int(second)]
+        return a if self._outstanding(a) <= self._outstanding(b) else b
+
+    def submit(self, request: Request) -> None:
+        """Dispatch one request according to the routing strategy.
+
+        Round-robin is decided immediately (it needs no system state);
+        load-aware strategies defer the choice to the request's
+        arrival time, when queue depths are meaningful.
+        """
+        self._submitted.append(request)
+        if self.routing == "round-robin":
+            self._pick_replica().submit(request)
+            return
+        self.simulator.schedule(
+            max(request.arrival_time, self.simulator.now),
+            lambda: self._pick_replica().submit_now(request),
+        )
+
+    def submit_trace(self, trace: Trace) -> None:
+        for request in trace:
+            self.submit(request)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        return self.simulator.run(until=until, max_events=max_events)
+
+    def all_requests(self) -> list[Request]:
+        return list(self._submitted)
+
+    def summarize(self, now: float | None = None) -> RunSummary:
+        return summarize_run(
+            self.all_requests(), now=now if now is not None else self.simulator.now
+        )
+
+
+@dataclass(frozen=True)
+class SiloSpec:
+    """One silo: which tiers it serves and with how many replicas."""
+
+    tier_names: tuple[str, ...]
+    num_replicas: int
+    scheduler_factory: SchedulerFactory
+
+
+class SiloedDeployment:
+    """Per-tier replica pools, as in current production practice.
+
+    Requests are routed to the silo owning their QoS bucket; each silo
+    is its own :class:`ClusterDeployment` sharing one simulator so the
+    silos advance in lock-step simulated time.
+    """
+
+    def __init__(
+        self,
+        execution_model: ExecutionModel,
+        silos: list[SiloSpec],
+        replica_config: ReplicaConfig | None = None,
+        simulator: Simulator | None = None,
+    ) -> None:
+        if not silos:
+            raise ValueError("need at least one silo")
+        self.simulator = simulator or Simulator()
+        self.execution_model = execution_model
+        self.pools: list[ClusterDeployment] = []
+        self._route: dict[str, ClusterDeployment] = {}
+        for spec in silos:
+            pool = ClusterDeployment(
+                execution_model,
+                spec.scheduler_factory,
+                spec.num_replicas,
+                replica_config=replica_config,
+                simulator=self.simulator,
+            )
+            self.pools.append(pool)
+            for tier in spec.tier_names:
+                if tier in self._route:
+                    raise ValueError(f"tier {tier} assigned to two silos")
+                self._route[tier] = pool
+
+    @property
+    def gpus_used(self) -> int:
+        return sum(pool.gpus_used for pool in self.pools)
+
+    def submit(self, request: Request) -> None:
+        pool = self._route.get(request.qos.name)
+        if pool is None:
+            raise KeyError(
+                f"no silo serves QoS bucket {request.qos.name!r}"
+            )
+        pool.submit(request)
+
+    def submit_trace(self, trace: Trace) -> None:
+        for request in trace:
+            self.submit(request)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        return self.simulator.run(until=until, max_events=max_events)
+
+    def all_requests(self) -> list[Request]:
+        return [r for pool in self.pools for r in pool.all_requests()]
+
+    def summarize(self, now: float | None = None) -> RunSummary:
+        return summarize_run(
+            self.all_requests(), now=now if now is not None else self.simulator.now
+        )

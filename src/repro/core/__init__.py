@@ -1,0 +1,72 @@
+"""QoServe's core abstractions.
+
+This package holds the paper's primary contribution, independent of the
+serving engine that hosts it:
+
+* :mod:`repro.core.qos` — fine-grained QoS classes and per-token
+  deadlines (Section 3.2, Eqs. 1-3).
+* :mod:`repro.core.request` — the request lifecycle shared by every
+  scheduler.
+* :mod:`repro.core.decode_estimator` — per-application decode-length
+  history with the mean + 2 sigma over-approximation (Section 3.4).
+* :mod:`repro.core.priority` — the hybrid EDF/SRPF priority
+  (Section 3.4, Eqs. 4-5) and load-adaptive alpha tuning.
+* :mod:`repro.core.predictor` — batch latency predictors (analytical
+  oracle and the trained random forest of Section 3.6.1).
+* :mod:`repro.core.chunking` — dynamic chunk sizing from decode slack.
+* :mod:`repro.core.relegation` — violation checking and eager
+  relegation with application hints (Section 3.4).
+"""
+
+from repro.core.qos import (
+    DEFAULT_TIERS,
+    Q1_INTERACTIVE,
+    Q2_RELAXED,
+    Q3_BATCH,
+    QoSClass,
+    QoSSpec,
+)
+from repro.core.request import Request, RequestPhase
+from repro.core.decode_estimator import (
+    DecodeLengthEstimator,
+    HistoryDecodeEstimator,
+    OracleDecodeEstimator,
+    StaticDecodeEstimator,
+)
+from repro.core.priority import (
+    HybridPriority,
+    LoadAdaptiveAlpha,
+    MS_PER_TOKEN,
+)
+from repro.core.predictor import (
+    BatchLatencyPredictor,
+    ForestBatchPredictor,
+    OracleBatchPredictor,
+)
+from repro.core.chunking import ChunkDecision, DynamicChunker
+from repro.core.relegation import RelegationPolicy, ViolationChecker
+
+__all__ = [
+    "DEFAULT_TIERS",
+    "Q1_INTERACTIVE",
+    "Q2_RELAXED",
+    "Q3_BATCH",
+    "QoSClass",
+    "QoSSpec",
+    "Request",
+    "RequestPhase",
+    "DecodeLengthEstimator",
+    "HistoryDecodeEstimator",
+    "OracleDecodeEstimator",
+    "StaticDecodeEstimator",
+    "HybridPriority",
+    "LoadAdaptiveAlpha",
+    "MS_PER_TOKEN",
+    "BatchLatencyPredictor",
+    "ForestBatchPredictor",
+    "OracleBatchPredictor",
+    "ChunkDecision",
+    "DynamicChunker",
+    "RelegationPolicy",
+    "ViolationChecker",
+]

@@ -1,0 +1,177 @@
+"""Dynamic chunk sizing from decode slack (Sections 3.3 and 3.6.1).
+
+Each scheduling iteration must finish before the tightest deadline among
+the decodes it carries, otherwise a TBT (or TTLT pace) violation occurs.
+The chunker turns that *latency budget* into a *prefill token budget*:
+the largest chunk whose predicted batch latency stays within budget.
+When slack accumulates (decodes finished ahead of their deadlines, or
+no strict-TBT request is active), the budget grows and throughput rises
+opportunistically — the behaviour of Figures 6 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.predictor import BatchLatencyPredictor
+from repro.core.request import Request
+from repro.perfmodel.execution import BatchShape, PrefillChunk
+
+
+@dataclass(frozen=True)
+class ChunkDecision:
+    """Outcome of one dynamic-chunking computation.
+
+    Attributes:
+        prefill_budget: Prefill tokens the iteration may carry.
+        latency_budget: The slack-derived time budget in seconds.
+        predicted_latency: Predictor output at the chosen budget.
+    """
+
+    prefill_budget: int
+    latency_budget: float
+    predicted_latency: float
+
+
+class DynamicChunker:
+    """Maximizes the prefill chunk under the decode-slack budget."""
+
+    def __init__(
+        self,
+        predictor: BatchLatencyPredictor,
+        min_chunk: int = 32,
+        max_chunk: int = 2500,
+        ni_pace_floor: float = 0.025,
+        search_tolerance: int = 16,
+    ) -> None:
+        """Args:
+        predictor: Batch latency predictor (forest or oracle).
+        min_chunk: Smallest prefill budget granted when any prefill
+            work is pending, so progress never stalls completely.
+        max_chunk: Saturation point of the throughput curve; the paper
+            picks 2500 from the Figure 4 profile.
+        ni_pace_floor: Lower bound (seconds) on the per-token pace
+            budget derived from non-interactive TTLT slack, so one
+            late batch request cannot strangle the whole iteration.
+        search_tolerance: Binary-search resolution in tokens.
+        """
+        if min_chunk < 1 or max_chunk < min_chunk:
+            raise ValueError("need 1 <= min_chunk <= max_chunk")
+        self.predictor = predictor
+        self.min_chunk = int(min_chunk)
+        self.max_chunk = int(max_chunk)
+        self.ni_pace_floor = float(ni_pace_floor)
+        self.search_tolerance = max(1, int(search_tolerance))
+
+    def latency_budget(
+        self, now: float, decode_requests: Iterable[Request]
+    ) -> float:
+        """Eq. 2-style slack: min over decodes of next-token headroom.
+
+        Interactive decodes contribute their next-token deadline minus
+        ``now``.  Non-interactive decodes contribute an even pace:
+        remaining TTLT slack divided by remaining tokens, floored at
+        ``ni_pace_floor``.  Returns ``inf`` when no decode constrains
+        the iteration.
+        """
+        budget = float("inf")
+        for request in decode_requests:
+            if request.is_interactive:
+                slack = request.next_token_deadline - now
+                if slack <= 0.0:
+                    # Deadline already blown (e.g. a relegated request
+                    # that finally reached decode): honouring it is
+                    # impossible, so pace it best-effort at the floor
+                    # instead of strangling the whole iteration.
+                    slack = self.ni_pace_floor
+            else:
+                remaining = max(1, request.remaining_decode)
+                slack = (request.total_deadline - now) / remaining
+                slack = max(slack, self.ni_pace_floor)
+            if slack < budget:
+                budget = slack
+        return budget
+
+    def prefill_budget(
+        self,
+        now: float,
+        decode_requests: list[Request],
+        prefill_context_before: int = 0,
+        extra_latency_budget: float | None = None,
+        ignore_decode_slack: bool = False,
+    ) -> ChunkDecision:
+        """Choose the prefill token budget for the next iteration.
+
+        Args:
+            now: Current simulated time.
+            decode_requests: Requests that will decode this iteration.
+            prefill_context_before: Context already processed for the
+                prefill request that will consume the budget (affects
+                attention cost, hence the prediction).
+            extra_latency_budget: Additional cap on iteration latency,
+                e.g. the TTFT slack of the prefill request itself.
+            ignore_decode_slack: Use only ``extra_latency_budget`` as
+                the time budget (Medha-style fixed-target chunking,
+                deadline-unaware); decode shapes still inform the
+                latency prediction.
+
+        Returns:
+            The chosen budget; ``prefill_budget`` is 0 only when even
+            ``min_chunk`` does not fit the latency budget.
+        """
+        if ignore_decode_slack:
+            if extra_latency_budget is None:
+                raise ValueError(
+                    "ignore_decode_slack requires extra_latency_budget"
+                )
+            budget = extra_latency_budget
+        else:
+            budget = self.latency_budget(now, decode_requests)
+            if extra_latency_budget is not None:
+                budget = min(budget, extra_latency_budget)
+
+        num_decodes = len(decode_requests)
+        decode_context = sum(r.context_length for r in decode_requests)
+
+        def predict(chunk: int) -> float:
+            chunks = (
+                [PrefillChunk(chunk, prefill_context_before)]
+                if chunk > 0
+                else []
+            )
+            return self.predictor.predict(
+                BatchShape(
+                    prefill_chunks=chunks,
+                    num_decodes=num_decodes,
+                    decode_context_total=decode_context,
+                )
+            )
+
+        top = self.max_chunk
+        if budget == float("inf"):
+            return ChunkDecision(
+                prefill_budget=top,
+                latency_budget=budget,
+                predicted_latency=predict(top),
+            )
+
+        if predict(top) <= budget:
+            return ChunkDecision(top, budget, predict(top))
+        low_latency = predict(self.min_chunk)
+        if low_latency > budget:
+            # Even the floor chunk busts the budget; grant the floor
+            # anyway so prefill work cannot be starved forever, and let
+            # the violation checker deal with the fallout.
+            return ChunkDecision(self.min_chunk, budget, low_latency)
+
+        # Binary search for the largest chunk within budget.  The
+        # forest is piecewise constant so we verify the final choice.
+        lo, hi = self.min_chunk, top
+        while hi - lo > self.search_tolerance:
+            mid = (lo + hi) // 2
+            if predict(mid) <= budget:
+                lo = mid
+            else:
+                hi = mid
+        return ChunkDecision(lo, budget, predict(lo))

@@ -1,0 +1,122 @@
+"""QoS classes, SLOs and deadline arithmetic (Section 3.2).
+
+QoServe defines two QoS *classes* — interactive and non-interactive —
+while letting each application pick its own SLO targets inside the
+class.  Interactive requests carry a TTFT SLO and a TBT SLO; their
+deadlines follow Eqs. 1-2 of the paper.  Non-interactive requests carry
+a single TTLT SLO (Eq. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class QoSClass(enum.Enum):
+    """The two QoS classes of Section 3.2."""
+
+    INTERACTIVE = "interactive"
+    NON_INTERACTIVE = "non-interactive"
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """An application's QoS bucket: class plus concrete SLO targets.
+
+    Attributes:
+        name: Bucket label (e.g. "Q1").
+        qos_class: Interactive or non-interactive.
+        ttft_slo: Time-to-first-token target in seconds (interactive).
+        tbt_slo: Time-between-tokens target in seconds (interactive).
+        ttlt_slo: Time-to-last-token target in seconds (non-interactive).
+    """
+
+    name: str
+    qos_class: QoSClass
+    ttft_slo: float | None = None
+    tbt_slo: float | None = None
+    ttlt_slo: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.qos_class is QoSClass.INTERACTIVE:
+            if self.ttft_slo is None or self.tbt_slo is None:
+                raise ValueError(
+                    f"{self.name}: interactive tiers need ttft_slo and tbt_slo"
+                )
+            if self.ttft_slo <= 0 or self.tbt_slo <= 0:
+                raise ValueError(f"{self.name}: SLOs must be positive")
+        else:
+            if self.ttlt_slo is None:
+                raise ValueError(
+                    f"{self.name}: non-interactive tiers need ttlt_slo"
+                )
+            if self.ttlt_slo <= 0:
+                raise ValueError(f"{self.name}: SLOs must be positive")
+
+    @property
+    def is_interactive(self) -> bool:
+        return self.qos_class is QoSClass.INTERACTIVE
+
+    def first_token_deadline(self, arrival_time: float) -> float:
+        """Eq. 1 for interactive tiers; Eq. 3 otherwise.
+
+        Non-interactive tiers have no first-token deadline of their
+        own, so the completion deadline doubles as the latest
+        acceptable first-token time.
+        """
+        if self.is_interactive:
+            assert self.ttft_slo is not None
+            return arrival_time + self.ttft_slo
+        assert self.ttlt_slo is not None
+        return arrival_time + self.ttlt_slo
+
+    def token_deadline(self, arrival_time: float, token_index: int) -> float:
+        """Deadline for the ``token_index``-th output token (1-based).
+
+        Interactive: Eq. 2, ``arrival + TTFT + (n - 1) * TBT``.
+        Non-interactive: every token shares the TTLT deadline (Eq. 3).
+        """
+        if token_index < 1:
+            raise ValueError(f"token_index is 1-based, got {token_index}")
+        if self.is_interactive:
+            assert self.ttft_slo is not None and self.tbt_slo is not None
+            return (
+                arrival_time
+                + self.ttft_slo
+                + (token_index - 1) * self.tbt_slo
+            )
+        assert self.ttlt_slo is not None
+        return arrival_time + self.ttlt_slo
+
+    def total_deadline(
+        self, arrival_time: float, num_output_tokens: int
+    ) -> float:
+        """Deadline for the final output token."""
+        return self.token_deadline(arrival_time, max(1, num_output_tokens))
+
+
+#: Table 3: Q1 interactive, TTFT 6 s / TBT 50 ms.
+Q1_INTERACTIVE = QoSSpec(
+    name="Q1",
+    qos_class=QoSClass.INTERACTIVE,
+    ttft_slo=6.0,
+    tbt_slo=0.050,
+)
+
+#: Table 3: Q2 non-interactive, TTLT 600 s.
+Q2_RELAXED = QoSSpec(
+    name="Q2",
+    qos_class=QoSClass.NON_INTERACTIVE,
+    ttlt_slo=600.0,
+)
+
+#: Table 3: Q3 non-interactive, TTLT 1800 s.
+Q3_BATCH = QoSSpec(
+    name="Q3",
+    qos_class=QoSClass.NON_INTERACTIVE,
+    ttlt_slo=1800.0,
+)
+
+#: The three-tier preset used throughout the paper's evaluation.
+DEFAULT_TIERS: tuple[QoSSpec, ...] = (Q1_INTERACTIVE, Q2_RELAXED, Q3_BATCH)

@@ -1,0 +1,24 @@
+"""Single-replica serving engine.
+
+Implements the iteration-level, chunked-prefill execution loop of a
+Sarathi/vLLM replica on top of the discrete-event simulator: requests
+arrive, prefill in scheduler-chosen chunks, join the running decode
+batch when their prompt completes, and emit one token per iteration
+until done — all gated by a paged KV-cache manager.
+"""
+
+from repro.engine.kvcache import KVCacheManager
+from repro.engine.batch import BatchPlan, IterationRecord, PrefillAssignment
+from repro.engine.interface import EngineView, Scheduler
+from repro.engine.replica import ReplicaConfig, ReplicaEngine
+
+__all__ = [
+    "KVCacheManager",
+    "BatchPlan",
+    "IterationRecord",
+    "PrefillAssignment",
+    "EngineView",
+    "Scheduler",
+    "ReplicaConfig",
+    "ReplicaEngine",
+]

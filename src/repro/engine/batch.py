@@ -1,0 +1,70 @@
+"""Batch plan and iteration-record types shared by engine and schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.request import Request
+from repro.perfmodel.execution import BatchShape, PrefillChunk
+
+
+@dataclass(frozen=True)
+class PrefillAssignment:
+    """A scheduler's decision to run ``tokens`` of one request's prompt."""
+
+    request: Request
+    tokens: int
+
+    def __post_init__(self) -> None:
+        if self.tokens < 1:
+            raise ValueError("a prefill assignment needs >= 1 token")
+        if self.tokens > self.request.remaining_prefill:
+            raise ValueError(
+                f"request {self.request.request_id}: assignment of "
+                f"{self.tokens} exceeds remaining prefill "
+                f"{self.request.remaining_prefill}"
+            )
+
+
+@dataclass
+class BatchPlan:
+    """One iteration's work: all running decodes plus prefill chunks."""
+
+    prefill_assignments: list[PrefillAssignment] = field(default_factory=list)
+    decode_requests: list[Request] = field(default_factory=list)
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(a.tokens for a in self.prefill_assignments)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.prefill_assignments and not self.decode_requests
+
+    def to_shape(self) -> BatchShape:
+        """Project the plan onto the execution model's batch shape."""
+        return BatchShape(
+            prefill_chunks=[
+                PrefillChunk(
+                    tokens=a.tokens,
+                    context_before=a.request.prefill_done,
+                )
+                for a in self.prefill_assignments
+            ],
+            num_decodes=len(self.decode_requests),
+            decode_context_total=sum(
+                r.context_length for r in self.decode_requests
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Telemetry for one executed iteration (Figure 9's raw data)."""
+
+    start_time: float
+    exec_time: float
+    prefill_tokens: int
+    num_decodes: int
+    decode_context_total: int
+    kv_utilization: float

@@ -1,0 +1,77 @@
+"""The scheduler-facing engine interface.
+
+Schedulers decide *which prefill tokens* run each iteration; the engine
+owns everything else (decode batching, KV accounting, token emission).
+:class:`EngineView` is the read-only window a scheduler gets into the
+engine's state, and :class:`Scheduler` is the contract every policy in
+:mod:`repro.schedulers` implements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.request import Request
+from repro.engine.batch import PrefillAssignment
+from repro.engine.kvcache import KVCacheManager
+from repro.perfmodel.execution import ExecutionModel
+
+
+@dataclass
+class EngineView:
+    """Read-only snapshot handed to the scheduler each iteration.
+
+    Attributes:
+        now: Current simulated time.
+        decode_requests: Requests that will decode this iteration
+            (always the entire decode queue, per Section 3.1).
+        kv_cache: The replica's KV manager (for admission checks).
+        execution_model: Ground-truth cost model of the replica.
+        max_decode_slots: Engine cap on concurrently decoding requests.
+        inflight_prefill_ids: Request ids whose prefill has started but
+            not completed; they already hold a decode slot.  Treat as
+            read-only.
+    """
+
+    now: float
+    decode_requests: list[Request]
+    kv_cache: KVCacheManager
+    execution_model: ExecutionModel
+    max_decode_slots: int
+    inflight_prefill_ids: frozenset[int] = frozenset()
+
+
+class Scheduler(ABC):
+    """A prefill-selection policy plugged into a replica engine."""
+
+    #: Human-readable policy name used in experiment tables.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def enqueue(self, request: Request, now: float) -> None:
+        """Admit a newly arrived request to the prefill queue."""
+
+    @abstractmethod
+    def plan_prefill(self, view: EngineView) -> list[PrefillAssignment]:
+        """Choose the prefill chunks for the next iteration.
+
+        Implementations must only assign tokens from requests they
+        previously received via :meth:`enqueue` that still have prompt
+        tokens remaining, and must respect KV-cache availability via
+        ``view.kv_cache.can_grow``.
+        """
+
+    @abstractmethod
+    def has_pending_prefill(self) -> bool:
+        """Whether any enqueued request still has prompt tokens left."""
+
+    def on_prefill_complete(self, request: Request, now: float) -> None:
+        """Notification that a request's prompt finished processing."""
+
+    def on_request_complete(self, request: Request, now: float) -> None:
+        """Notification that a request produced its final token."""
+
+    def pending_requests(self) -> list[Request]:
+        """Requests currently waiting in the prefill queue (any order)."""
+        return []

@@ -1,0 +1,92 @@
+"""Paged KV-cache accounting (vLLM's PagedAttention, abstracted).
+
+The simulator does not move tensors, but KV memory still gates
+scheduling: a replica cannot admit more prefill work than its cache can
+hold, and decode batches grow their footprint by one token per request
+per iteration.  This manager tracks block-granular usage exactly the
+way a paged allocator would, including the block-rounding waste.
+"""
+
+from __future__ import annotations
+
+
+class KVCacheManager:
+    """Block-granular KV-cache bookkeeping for one replica."""
+
+    def __init__(self, capacity_tokens: int, block_size: int = 16) -> None:
+        """Args:
+        capacity_tokens: Cache capacity in tokens (from
+            :attr:`ExecutionModel.kv_capacity_tokens`).
+        block_size: Tokens per page; allocations round up to this.
+        """
+        if capacity_tokens < 1:
+            raise ValueError("capacity_tokens must be >= 1")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = int(block_size)
+        self.capacity_blocks = int(capacity_tokens) // self.block_size
+        if self.capacity_blocks < 1:
+            raise ValueError("capacity smaller than one block")
+        self._used_blocks = 0
+        # request_id -> (tokens held, blocks held)
+        self._holdings: dict[int, tuple[int, int]] = {}
+
+    @property
+    def used_blocks(self) -> int:
+        return self._used_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return self.capacity_blocks - self._used_blocks
+
+    @property
+    def used_tokens(self) -> int:
+        """Tokens actually stored (excludes block-rounding waste)."""
+        return sum(tokens for tokens, _ in self._holdings.values())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of blocks in use."""
+        return self._used_blocks / self.capacity_blocks
+
+    def holding(self, request_id: int) -> int:
+        """Tokens currently cached for ``request_id`` (0 if none)."""
+        tokens, _ = self._holdings.get(request_id, (0, 0))
+        return tokens
+
+    def blocks_needed(self, request_id: int, extra_tokens: int) -> int:
+        """Additional blocks required to grow a holding."""
+        tokens, blocks = self._holdings.get(request_id, (0, 0))
+        new_tokens = tokens + extra_tokens
+        new_blocks = -(-new_tokens // self.block_size)  # ceil div
+        return max(0, new_blocks - blocks)
+
+    def can_grow(self, request_id: int, extra_tokens: int) -> bool:
+        """Whether ``extra_tokens`` more tokens fit for this request."""
+        return self.blocks_needed(request_id, extra_tokens) <= self.free_blocks
+
+    def grow(self, request_id: int, extra_tokens: int) -> None:
+        """Extend a request's holding by ``extra_tokens`` tokens.
+
+        Raises:
+            MemoryError: If the cache lacks free blocks.  Callers are
+                expected to check :meth:`can_grow` first; the raise is
+                the invariant guard, not a control-flow mechanism.
+        """
+        if extra_tokens < 0:
+            raise ValueError("extra_tokens must be non-negative")
+        need = self.blocks_needed(request_id, extra_tokens)
+        if need > self.free_blocks:
+            raise MemoryError(
+                f"KV cache exhausted: need {need} blocks, "
+                f"{self.free_blocks} free"
+            )
+        tokens, blocks = self._holdings.get(request_id, (0, 0))
+        self._holdings[request_id] = (tokens + extra_tokens, blocks + need)
+        self._used_blocks += need
+
+    def release(self, request_id: int) -> int:
+        """Free a request's entire holding; returns blocks released."""
+        tokens, blocks = self._holdings.pop(request_id, (0, 0))
+        self._used_blocks -= blocks
+        return blocks

@@ -1,0 +1,367 @@
+"""The replica engine: iteration-level chunked-prefill serving loop.
+
+One :class:`ReplicaEngine` models one model replica (a TP group of
+GPUs).  Each iteration it batches *all* running decodes with the
+prefill chunks its scheduler selects (Section 3.1), asks the execution
+model how long the batch takes, and advances simulated time.  KV-cache
+growth is accounted before execution; if a decode step cannot fit, the
+engine preempts the decode request with the slackest deadline and
+recomputes it later, mirroring vLLM's recompute-on-eviction.
+
+In ``prefill_only`` mode (PD disaggregation, Section 4.1.3) completed
+prefills are handed to a caller-provided sink instead of entering the
+local decode queue, and their KV is released (shipped to the decode
+node).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.request import Request
+from repro.engine.batch import BatchPlan, IterationRecord, PrefillAssignment
+from repro.engine.interface import EngineView, Scheduler
+from repro.engine.kvcache import KVCacheManager
+from repro.perfmodel.execution import ExecutionModel
+from repro.simcore.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Engine knobs.
+
+    Attributes:
+        max_decode_slots: Cap on concurrently running requests
+            (vLLM's ``max_num_seqs``); prefill admission respects it.
+        kv_block_size: Paged-attention block size in tokens.
+        record_iterations: Keep an :class:`IterationRecord` per batch
+            (Figure 9 telemetry); off by default to save memory.
+        prefill_only: PD-disaggregation prefill-node mode.
+    """
+
+    max_decode_slots: int = 256
+    kv_block_size: int = 16
+    record_iterations: bool = False
+    prefill_only: bool = False
+
+
+class ReplicaEngine:
+    """Serves requests on one simulated replica."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        execution_model: ExecutionModel,
+        scheduler: Scheduler,
+        config: ReplicaConfig | None = None,
+        replica_id: int = 0,
+        prefill_sink: Callable[[Request, float], None] | None = None,
+    ) -> None:
+        """Args:
+        simulator: Shared event loop.
+        execution_model: Ground-truth iteration cost model.
+        scheduler: Prefill-selection policy.
+        config: Engine knobs; defaults to :class:`ReplicaConfig`.
+        replica_id: Identifier used in multi-replica deployments.
+        prefill_sink: Required in ``prefill_only`` mode — receives
+            ``(request, now)`` when a prompt finishes prefilling.
+        """
+        self.simulator = simulator
+        self.execution_model = execution_model
+        self.scheduler = scheduler
+        self.config = config or ReplicaConfig()
+        self.replica_id = replica_id
+        if self.config.prefill_only and prefill_sink is None:
+            raise ValueError("prefill_only mode requires a prefill_sink")
+        self.prefill_sink = prefill_sink
+
+        self.kv_cache = KVCacheManager(
+            capacity_tokens=execution_model.kv_capacity_tokens,
+            block_size=self.config.kv_block_size,
+        )
+        self.decode_queue: list[Request] = []
+        self.completed: list[Request] = []
+        self.submitted: list[Request] = []
+        #: Requests refused at admission: their prompt plus decode
+        #: tokens can never fit this replica's KV cache (vLLM rejects
+        #: over-length prompts the same way).
+        self.rejected: list[Request] = []
+        self.iteration_records: list[IterationRecord] = []
+        self.iterations_run = 0
+        self.busy_time = 0.0
+        self._busy = False
+        # Requests whose prefill has started but not finished; counts
+        # against decode slots so admission cannot overshoot.
+        self._inflight_prefills: set[int] = set()
+        # Prefilled handoffs (disaggregation) waiting for KV or slots.
+        self._pending_handoffs: deque[Request] = deque()
+        # Requests evicted by stall recovery: parked outside the
+        # scheduler until a completion frees memory, so they cannot
+        # immediately re-consume the blocks they just released.
+        self._stalled_requests: list[Request] = []
+
+    # --- submission ------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Register a request; it arrives at ``request.arrival_time``."""
+        self.submitted.append(request)
+        self.simulator.schedule(
+            max(request.arrival_time, self.simulator.now),
+            lambda: self._on_arrival(request),
+        )
+
+    def submit_now(self, request: Request) -> None:
+        """Hand a request over immediately (disaggregation handoff)."""
+        self.submitted.append(request)
+        self._on_arrival(request)
+
+    def submit_prefilled(self, request: Request) -> None:
+        """Admit an already-prefilled request straight into decode.
+
+        This is the decode-node entry point of a disaggregated
+        deployment: the prompt's KV arrives with the request (grown
+        here), and the first output token is produced by this
+        replica's next iteration.  Requests that do not fit (KV or
+        decode slots) wait in an admission queue and are admitted as
+        completions free resources.
+        """
+        if request.remaining_prefill != 0:
+            raise ValueError(
+                f"request {request.request_id} still has prefill work"
+            )
+        if request.is_finished:
+            raise ValueError(f"request {request.request_id} is finished")
+        self.submitted.append(request)
+        self._pending_handoffs.append(request)
+        self._admit_handoffs()
+        self._maybe_start()
+
+    def _admit_handoffs(self) -> None:
+        while self._pending_handoffs:
+            request = self._pending_handoffs[0]
+            if self.running_requests >= self.config.max_decode_slots:
+                return
+            context = request.context_length
+            if not self.kv_cache.can_grow(request.request_id, context):
+                return
+            self.kv_cache.grow(request.request_id, context)
+            self.decode_queue.append(request)
+            if request.scheduled_first_time is None:
+                request.scheduled_first_time = self.simulator.now
+            self._pending_handoffs.popleft()
+
+    def _on_arrival(self, request: Request) -> None:
+        max_tokens = (
+            self.kv_cache.capacity_blocks * self.kv_cache.block_size
+        )
+        if request.prefill_target + request.remaining_decode > max_tokens:
+            self.rejected.append(request)
+            return
+        self.scheduler.enqueue(request, self.simulator.now)
+        self._maybe_start()
+
+    # --- derived state ----------------------------------------------------
+
+    @property
+    def running_requests(self) -> int:
+        """Requests occupying decode slots (decoding or mid-prefill)."""
+        return len(self.decode_queue) + len(self._inflight_prefills)
+
+    @property
+    def free_decode_slots(self) -> int:
+        return max(0, self.config.max_decode_slots - self.running_requests)
+
+    def has_work(self) -> bool:
+        return bool(self.decode_queue) or self.scheduler.has_pending_prefill()
+
+    # --- iteration loop ----------------------------------------------------
+
+    def _maybe_start(self) -> None:
+        if self._busy:
+            return
+        if self.has_work():
+            self._start_iteration()
+
+    def _start_iteration(self) -> None:
+        now = self.simulator.now
+        self._reserve_decode_growth()
+        view = EngineView(
+            now=now,
+            decode_requests=list(self.decode_queue),
+            kv_cache=self.kv_cache,
+            execution_model=self.execution_model,
+            max_decode_slots=self.config.max_decode_slots,
+            inflight_prefill_ids=frozenset(self._inflight_prefills),
+        )
+        assignments = self.scheduler.plan_prefill(view)
+        plan = BatchPlan(
+            prefill_assignments=assignments,
+            decode_requests=list(self.decode_queue),
+        )
+        if plan.is_empty:
+            if (
+                not self.decode_queue
+                and self.scheduler.has_pending_prefill()
+                and self._recover_prefill_stall()
+            ):
+                # Freed KV by evicting a partial prefill; plan again.
+                self._start_iteration()
+                return
+            # Prefill queue blocked (e.g. on KV memory) and nothing is
+            # decoding; idle until the next arrival or completion.
+            return
+        for assignment in assignments:
+            request = assignment.request
+            self.kv_cache.grow(request.request_id, assignment.tokens)
+            self._inflight_prefills.add(request.request_id)
+            if request.scheduled_first_time is None:
+                request.scheduled_first_time = now
+
+        exec_time = self.execution_model.batch_time(plan.to_shape())
+        self._busy = True
+        self.busy_time += exec_time
+        self.simulator.schedule_after(
+            exec_time, lambda: self._finish_iteration(plan, exec_time, now)
+        )
+
+    def _reserve_decode_growth(self) -> None:
+        """Grow KV by one token per decode request, evicting on pressure.
+
+        Eviction victims are the decode requests with the largest
+        next-token slack (they can best afford recompute); evicted
+        requests return to the prefill queue with recompute pending.
+        """
+        for request in list(self.decode_queue):
+            if self.kv_cache.can_grow(request.request_id, 1):
+                self.kv_cache.grow(request.request_id, 1)
+                continue
+            victim = self._pick_eviction_victim(exclude=request)
+            while victim is not None and not self.kv_cache.can_grow(
+                request.request_id, 1
+            ):
+                self._evict_decode(victim)
+                victim = self._pick_eviction_victim(exclude=request)
+            if self.kv_cache.can_grow(request.request_id, 1):
+                self.kv_cache.grow(request.request_id, 1)
+            else:
+                # Last resort: evict this request itself.
+                self._evict_decode(request)
+
+    def _recover_prefill_stall(self) -> bool:
+        """Break a mutual-prefill KV deadlock by recomputation.
+
+        With no decodes running and prefill work pending but no plan,
+        the cache is wedged by partially-prefilled requests that each
+        need more blocks than remain.  Evicting the least-progressed
+        holder (losing the least work) lets the most advanced one
+        finish and the evicted one recompute later — vLLM's
+        recompute-on-preemption, applied to the prefill phase.
+
+        Returns True if a victim was evicted.
+        """
+        holders = [
+            r
+            for r in self.scheduler.pending_requests()
+            if r.remaining_prefill > 0
+            and self.kv_cache.holding(r.request_id) > 0
+        ]
+        if len(holders) < 2:
+            return False  # a lone holder gains nothing from eviction
+        victim = min(holders, key=lambda r: r.prefill_done)
+        self.kv_cache.release(victim.request_id)
+        self._inflight_prefills.discard(victim.request_id)
+        victim.evict()
+        # Park the victim outside the scheduler: re-admitting it right
+        # away would let it re-consume the freed blocks before the
+        # surviving holder finishes, thrashing forever.
+        self.scheduler.on_prefill_complete(victim, self.simulator.now)
+        self._stalled_requests.append(victim)
+        return True
+
+    def _pick_eviction_victim(self, exclude: Request) -> Request | None:
+        candidates = [r for r in self.decode_queue if r is not exclude]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.next_token_deadline)
+
+    def _evict_decode(self, request: Request) -> None:
+        self.kv_cache.release(request.request_id)
+        self.decode_queue.remove(request)
+        request.evict()
+        self.scheduler.enqueue(request, self.simulator.now)
+
+    def _finish_iteration(
+        self, plan: BatchPlan, exec_time: float, start_time: float
+    ) -> None:
+        now = self.simulator.now
+        self.iterations_run += 1
+        if self.config.record_iterations:
+            shape = plan.to_shape()
+            self.iteration_records.append(
+                IterationRecord(
+                    start_time=start_time,
+                    exec_time=exec_time,
+                    prefill_tokens=shape.prefill_tokens,
+                    num_decodes=shape.num_decodes,
+                    decode_context_total=shape.decode_context_total,
+                    kv_utilization=self.kv_cache.utilization,
+                )
+            )
+
+        # Decode side: every running request emitted one token.
+        for request in plan.decode_requests:
+            if request not in self.decode_queue:
+                continue  # evicted while this iteration was in flight
+            request.record_output_token(now)
+            if request.is_finished:
+                self._complete(request, now)
+
+        # Prefill side: advance chunk progress.
+        for assignment in plan.prefill_assignments:
+            request = assignment.request
+            request.prefill_done += assignment.tokens
+            if request.remaining_prefill == 0:
+                self._on_prefill_finished(request, now)
+
+        self._busy = False
+        self._maybe_start()
+
+    def _on_prefill_finished(self, request: Request, now: float) -> None:
+        self._inflight_prefills.discard(request.request_id)
+        self.scheduler.on_prefill_complete(request, now)
+        if self.config.prefill_only:
+            # First token is produced by the decode node after handoff;
+            # the prefill node's job (and its KV holding) ends here.
+            self.kv_cache.release(request.request_id)
+            assert self.prefill_sink is not None
+            self.prefill_sink(request, now)
+            return
+        if request.decoded == 0:
+            # The final prefill chunk yields output token 1 (Sec. 2.1).
+            request.record_output_token(now)
+        if request.is_finished:
+            self._complete(request, now)
+        else:
+            self.decode_queue.append(request)
+
+    def _complete(self, request: Request, now: float) -> None:
+        if request in self.decode_queue:
+            self.decode_queue.remove(request)
+        self.kv_cache.release(request.request_id)
+        self.completed.append(request)
+        self.scheduler.on_request_complete(request, now)
+        if self._pending_handoffs:
+            self._admit_handoffs()
+        if self._stalled_requests:
+            for stalled in self._stalled_requests:
+                self.scheduler.enqueue(stalled, now)
+            self._stalled_requests.clear()
+
+    # --- driving ----------------------------------------------------------
+
+    def run_until_drained(self, max_events: int | None = None) -> float:
+        """Run the simulator until all submitted work completes."""
+        self.simulator.run(max_events=max_events)
+        return self.simulator.now

@@ -1,0 +1,89 @@
+"""Canonical deployments (Table 1) and experiment scale presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel import (
+    A100_80GB,
+    H100_80GB,
+    LLAMA3_70B,
+    LLAMA3_8B,
+    QWEN_7B,
+    ExecutionModel,
+    HardwareSpec,
+    ModelSpec,
+)
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """A (model, hardware, TP) row of Table 1."""
+
+    name: str
+    model: ModelSpec
+    hardware: HardwareSpec
+    tp_degree: int
+
+
+#: Table 1's three deployments.
+DEPLOYMENTS: dict[str, DeploymentSpec] = {
+    "llama3-8b": DeploymentSpec("llama3-8b", LLAMA3_8B, A100_80GB, 1),
+    "qwen-7b": DeploymentSpec("qwen-7b", QWEN_7B, A100_80GB, 2),
+    "llama3-70b": DeploymentSpec("llama3-70b", LLAMA3_70B, H100_80GB, 4),
+}
+
+_MODEL_CACHE: dict[str, ExecutionModel] = {}
+
+
+def get_execution_model(deployment: str = "llama3-8b") -> ExecutionModel:
+    """Cached :class:`ExecutionModel` for a named deployment."""
+    if deployment not in DEPLOYMENTS:
+        raise KeyError(
+            f"unknown deployment {deployment!r}; "
+            f"options: {sorted(DEPLOYMENTS)}"
+        )
+    if deployment not in _MODEL_CACHE:
+        spec = DEPLOYMENTS[deployment]
+        _MODEL_CACHE[deployment] = ExecutionModel(
+            spec.model, spec.hardware, tp_degree=spec.tp_degree
+        )
+    return _MODEL_CACHE[deployment]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big an experiment run should be.
+
+    Attributes:
+        num_requests: Requests per simulation run (rate sweeps that
+            hold the request bodies fixed use exactly this many).
+        min_duration_s: Floor on the arrival span for experiments that
+            measure *violations under sustained load*.  The Q2/Q3
+            tiers carry 600 s / 1800 s TTLT deadlines, so overload
+            only turns into violations once backlog delay crosses
+            those horizons — a short burst hides it (the paper runs 4
+            hours; the artifact's tiny scripts shrink this the same
+            way).
+        seed: Trace seed.
+        label: Name shown in result headers.
+    """
+
+    num_requests: int
+    min_duration_s: float = 0.0
+    seed: int = 42
+    label: str = "custom"
+
+    def requests_for(self, qps: float) -> int:
+        """Request count giving at least ``min_duration_s`` at ``qps``."""
+        return max(self.num_requests, int(qps * self.min_duration_s))
+
+
+#: Quick validation (the artifact appendix's ``tester.sh`` spirit).
+SMOKE = Scale(num_requests=300, min_duration_s=150.0, label="smoke")
+
+#: Default for the benchmark suite: big enough for stable trends.
+BENCH = Scale(num_requests=1500, min_duration_s=700.0, label="bench")
+
+#: Closer to the paper's durations; minutes of wall clock per figure.
+FULL = Scale(num_requests=6000, min_duration_s=2000.0, label="full")

@@ -1,0 +1,166 @@
+"""Extension experiment: multi-TBT decode nodes for disaggregation.
+
+The paper's Section 4.1.3 sizes every decode node for the *strictest*
+TBT class and explicitly defers "efficiently supporting different TBT
+SLOs in the decode nodes" to future work.  This experiment implements
+and evaluates that future work (see
+:mod:`repro.cluster.decode_pool`): requests from a strict (25 ms) and
+a relaxed (100 ms) TBT class stream into a fixed decode pool managed
+three ways —
+
+* ``strict-shared`` — status quo: batch cap from the strictest class;
+* ``partitioned``   — PolyServe-style per-class replicas;
+* ``qos-shared``    — TBT-aware dynamic admission (QoServe-flavoured).
+
+Prefill is bypassed (requests arrive already prefilled), isolating the
+decode-side scheduling question.  Reported per load and pool: TBT
+pacing misses per class and the p99 total turnaround.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.decode_pool import (
+    PartitionedDecodePool,
+    QoSSharedDecodePool,
+    StrictSharedDecodePool,
+)
+from repro.core.qos import QoSClass, QoSSpec
+from repro.core.request import Request
+from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.result import ExperimentResult
+from repro.simcore.rng import RngStreams
+from repro.simcore.simulator import Simulator
+from repro.workload.distributions import LognormalLengths
+
+#: An ultra-low-latency streaming class: tight enough that the batch
+#: cap it implies (couple dozen requests) costs real throughput.
+TIER_STRICT = QoSSpec(
+    "QA", QoSClass.INTERACTIVE, ttft_slo=30.0, tbt_slo=0.015
+)
+TIER_RELAXED = QoSSpec(
+    "QB", QoSClass.INTERACTIVE, ttft_slo=30.0, tbt_slo=0.100
+)
+
+PROMPTS = LognormalLengths(p50=1730, p90=5696)   # ShareGPT-like
+DECODES = LognormalLengths(p50=200, p90=500, max_tokens=2000)
+AVG_CONTEXT = 3000
+
+
+def prefilled_trace(num_requests: int, qps: float, seed: int,
+                    strict_share: float = 0.5) -> list[Request]:
+    """Already-prefilled requests, as handed off by prefill nodes."""
+    streams = RngStreams(seed)
+    rng = streams.stream("decode-ext")
+    gaps = rng.exponential(scale=1.0 / qps, size=num_requests)
+    prompts = PROMPTS.sample(streams.stream("prompts"), num_requests)
+    decodes = DECODES.sample(streams.stream("decodes"), num_requests)
+    strict = rng.random(num_requests) < strict_share
+    t = 0.0
+    requests = []
+    for i in range(num_requests):
+        t += float(gaps[i])
+        request = Request(
+            request_id=i,
+            arrival_time=t,
+            prompt_tokens=int(prompts[i]),
+            decode_tokens=int(decodes[i]),
+            qos=TIER_STRICT if strict[i] else TIER_RELAXED,
+            app_id="strict" if strict[i] else "relaxed",
+        )
+        request.prefill_done = request.prompt_tokens
+        requests.append(request)
+    return requests
+
+
+def make_pool(mode: str, simulator, execution_model, num_replicas: int):
+    if mode == "strict-shared":
+        return StrictSharedDecodePool(
+            simulator, execution_model, num_replicas,
+            strictest_tbt=TIER_STRICT.tbt_slo, avg_context=AVG_CONTEXT,
+        )
+    if mode == "partitioned":
+        per_class = max(1, num_replicas // 2)
+        return PartitionedDecodePool(
+            simulator, execution_model,
+            replicas_per_class={"QA": per_class, "QB": per_class},
+            tbt_per_class={
+                "QA": TIER_STRICT.tbt_slo, "QB": TIER_RELAXED.tbt_slo
+            },
+            avg_context=AVG_CONTEXT,
+        )
+    if mode == "qos-shared":
+        return QoSSharedDecodePool(
+            simulator, execution_model, num_replicas
+        )
+    raise KeyError(f"unknown pool mode {mode!r}")
+
+
+def run(
+    scale: Scale = BENCH,
+    loads: tuple[float, ...] = (6.0, 12.0, 18.0),
+    num_replicas: int = 2,
+    deployment: str = "llama3-8b",
+) -> ExperimentResult:
+    """Sweep load over the three decode-pool designs."""
+    execution_model = get_execution_model(deployment)
+    result = ExperimentResult(
+        experiment="ext-qos-decode",
+        title="Multi-TBT decode pools (paper future work)",
+        notes=[
+            f"scale={scale.label}; {num_replicas} decode replicas; "
+            f"classes: {TIER_STRICT.tbt_slo * 1e3:.0f} ms / "
+            f"{TIER_RELAXED.tbt_slo * 1e3:.0f} ms TBT, 50/50 mix; "
+            "prefill bypassed",
+            "static sizing (strict-shared, partitioned) misses pacing "
+            "under context heterogeneity; TBT-aware admission "
+            "(qos-shared) trades queueing for exact pacing",
+        ],
+    )
+    for mode in ("strict-shared", "partitioned", "qos-shared"):
+        for qps in loads:
+            num_requests = min(scale.requests_for(qps),
+                               scale.num_requests * 2)
+            requests = prefilled_trace(num_requests, qps, scale.seed)
+            simulator = Simulator()
+            pool = make_pool(mode, simulator, execution_model,
+                             num_replicas)
+            for request in requests:
+                simulator.schedule(
+                    request.arrival_time,
+                    lambda r=request: pool.accept(r, simulator.now),
+                )
+            simulator.run(max_events=20_000_000)
+
+            finished = [r for r in requests if r.is_finished]
+            misses = {"QA": [0, 0], "QB": [0, 0]}
+            turnaround = []
+            for r in finished:
+                misses[r.qos.name][0] += r.tbt_gap_misses
+                misses[r.qos.name][1] += max(0, r.decoded - 1)
+                turnaround.append(r.completion_time - r.arrival_time)
+            turnaround.sort()
+            p99 = (
+                turnaround[int(0.99 * (len(turnaround) - 1))]
+                if turnaround else float("inf")
+            )
+
+            def miss_pct(name):
+                hits, total = misses[name]
+                return 100.0 * hits / total if total else 0.0
+
+            result.rows.append(
+                {
+                    "pool": mode,
+                    "qps": qps,
+                    "finished": len(finished),
+                    "unfinished": len(requests) - len(finished),
+                    "tbt_miss_strict_pct": miss_pct("QA"),
+                    "tbt_miss_relaxed_pct": miss_pct("QB"),
+                    "p99_turnaround_s": p99,
+                }
+            )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

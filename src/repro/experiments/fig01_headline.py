@@ -1,0 +1,64 @@
+"""Figure 1: the paper's headline results.
+
+Top right: A100 GPUs needed to serve a fixed cluster load across three
+QoS tiers — the tuned Sarathi silo vs QoServe co-scheduling (paper:
+13 vs 10 GPUs, a 23% saving).  Delegates to the Table 4 experiment.
+
+Bottom: the bursty-overload comparison — rolling latency under a
+diurnal load where SOTA scheduling cascades and QoServe degrades
+gracefully.  Delegates to the Figure 12/13 experiment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import tab04_cluster_scale
+from repro.experiments import fig12_13_transient
+from repro.experiments.configs import BENCH, Scale
+from repro.experiments.result import ExperimentResult
+
+
+def run(scale: Scale = BENCH, deployment: str = "llama3-8b") -> ExperimentResult:
+    """Reproduce Figure 1's GPU-count headline."""
+    table4 = tab04_cluster_scale.run(scale=scale, deployment=deployment)
+    result = ExperimentResult(
+        experiment="figure-01",
+        title="GPUs needed: SOTA silo vs QoServe co-scheduling",
+        notes=list(table4.notes) + ["paper: 13 vs 10 A100s (23% saving)"],
+    )
+    tuned_silo = table4.rows[0]
+    qoserve = table4.rows[-1]
+    saving_pct = (
+        100.0 * (tuned_silo["gpus"] - qoserve["gpus"]) / tuned_silo["gpus"]
+        if tuned_silo["gpus"]
+        else float("nan")
+    )
+    result.rows.append(
+        {
+            "scheme": "SOTA-Siloed",
+            "gpus": tuned_silo["gpus"],
+            "viol_pct": tuned_silo["viol_overall_pct"],
+        }
+    )
+    result.rows.append(
+        {
+            "scheme": "QoServe",
+            "gpus": qoserve["gpus"],
+            "viol_pct": qoserve["viol_overall_pct"],
+        }
+    )
+    result.notes.append(f"GPU saving: {saving_pct:.1f}%")
+    return result
+
+
+def run_burst(scale: Scale = BENCH, deployment: str = "llama3-8b") -> ExperimentResult:
+    """Reproduce Figure 1's bursty-overload panel (via Figure 12)."""
+    result = fig12_13_transient.run(scale=scale, deployment=deployment)
+    result.experiment = "figure-01-burst"
+    result.title = "Transient overload: violations per scheme"
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())
+    print()
+    print(run_burst().render())

@@ -1,0 +1,51 @@
+"""Figure 4: throughput-latency trade-off as a function of chunk size.
+
+Pure performance-model measurement: for each chunk size, the prefill
+throughput (tokens/s) when streaming a long prompt in fixed chunks and
+the per-batch latency in a representative serving state.  The figure's
+two annotations are checked in tests: the ~50 ms SLO crossing lands
+near chunk 330, and throughput saturates near chunk 2500.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.result import ExperimentResult
+from repro.perfmodel.execution import BatchShape, PrefillChunk
+
+DEFAULT_CHUNKS = (
+    64, 128, 192, 256, 330, 384, 512, 768, 1024, 1280,
+    1536, 2048, 2500, 3072, 4096,
+)
+
+
+def run(
+    scale: Scale = BENCH,
+    chunks: tuple[int, ...] = DEFAULT_CHUNKS,
+    deployment: str = "llama3-8b",
+    context_before: int = 1024,
+) -> ExperimentResult:
+    """Reproduce Figure 4's chunk-size sweep."""
+    execution_model = get_execution_model(deployment)
+    result = ExperimentResult(
+        experiment="figure-04",
+        title="Throughput-latency trade-off vs chunk size",
+        notes=[f"deployment={deployment}, mid-prompt context={context_before}"],
+    )
+    for chunk in chunks:
+        shape = BatchShape(
+            prefill_chunks=[PrefillChunk(chunk, context_before)]
+        )
+        latency = execution_model.batch_time(shape)
+        result.rows.append(
+            {
+                "chunk_size": chunk,
+                "throughput_tokens_per_s": chunk / latency,
+                "batch_latency_ms": latency * 1e3,
+            }
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

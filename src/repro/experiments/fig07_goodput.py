@@ -1,0 +1,60 @@
+"""Figure 7: max per-replica goodput in a shared cluster.
+
+For each (model, hardware, dataset) cell, finds the largest QPS each
+scheduler sustains with <= 1% deadline violations.  The paper reports
+QoServe at 1.5-2.4x Sarathi-FCFS and 1.2-1.4x Sarathi-EDF.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import goodput_search
+from repro.workload.datasets import DATASETS
+
+SCHEMES = ("fcfs", "edf", "qoserve")
+DEFAULT_DEPLOYMENTS = ("llama3-8b", "qwen-7b", "llama3-70b")
+DEFAULT_DATASETS = ("AzCode", "AzConv", "ShareGPT")
+
+
+def run(
+    scale: Scale = BENCH,
+    deployments: tuple[str, ...] = DEFAULT_DEPLOYMENTS,
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    schemes: tuple[str, ...] = SCHEMES,
+) -> ExperimentResult:
+    """Reproduce Figure 7's goodput grid (PD colocation)."""
+    result = ExperimentResult(
+        experiment="figure-07",
+        title="Max goodput per replica, shared cluster, PD colocation",
+        notes=[
+            f"scale={scale.label}; goodput = max QPS with <=1% violations"
+        ],
+    )
+    for deployment in deployments:
+        execution_model = get_execution_model(deployment)
+        for dataset_name in datasets:
+            dataset = DATASETS[dataset_name]
+            for scheme in schemes:
+                capacity = goodput_search(
+                    scheme,
+                    execution_model,
+                    dataset,
+                    num_requests=scale.num_requests,
+                    seed=scale.seed,
+                )
+                result.rows.append(
+                    {
+                        "deployment": deployment,
+                        "dataset": dataset_name,
+                        "scheme": f"Sarathi-{scheme.upper()}"
+                        if scheme in ("fcfs", "edf")
+                        else "QoServe",
+                        "goodput_qps": capacity.max_qps,
+                    }
+                )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

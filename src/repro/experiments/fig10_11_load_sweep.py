@@ -1,0 +1,108 @@
+"""Figures 10 and 11: latency and deadline violations under load.
+
+One load sweep powers both figures: per QoS bucket p50/p95 of the
+governing latency (Figure 10) and the violation breakdown — overall,
+short vs long, and per bucket (Figure 11) — for Sarathi-FCFS,
+Sarathi-SRPF, Sarathi-EDF and QoServe on the Azure Code trace.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import build_trace, make_scheduler, run_replica_trace
+from repro.metrics.latency import latency_percentiles
+from repro.workload.datasets import AZURE_CODE
+
+SCHEMES = ("fcfs", "srpf", "edf", "qoserve")
+DEFAULT_LOADS = (2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0)
+
+
+def run(
+    scale: Scale = BENCH,
+    schemes: tuple[str, ...] = SCHEMES,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    deployment: str = "llama3-8b",
+) -> ExperimentResult:
+    """Run the combined Figure 10/11 sweep."""
+    execution_model = get_execution_model(deployment)
+    base = build_trace(
+        AZURE_CODE, qps=1.0, num_requests=scale.requests_for(max(loads)),
+        seed=scale.seed
+    )
+    result = ExperimentResult(
+        experiment="figure-10-11",
+        title="Latency and deadline violations vs load (AzCode)",
+        notes=[f"scale={scale.label}; deployment={deployment}"],
+    )
+    for scheme in schemes:
+        for qps in loads:
+            trace = base.scaled_arrivals(qps)
+            scheduler = make_scheduler(scheme, execution_model)
+            summary, _ = run_replica_trace(execution_model, scheduler, trace)
+            row = {
+                "scheme": f"Sarathi-{scheme.upper()}"
+                if scheme != "qoserve"
+                else "QoServe",
+                "qps": qps,
+            }
+            for tier in ("Q1", "Q2", "Q3"):
+                tier_requests = [r for r in trace if r.qos.name == tier]
+                pcts = latency_percentiles(tier_requests, (0.50, 0.95))
+                row[f"{tier.lower()}_p50_s"] = pcts[0.50]
+                row[f"{tier.lower()}_p95_s"] = pcts[0.95]
+            violations = summary.violations
+            row.update(
+                {
+                    "viol_overall_pct": violations.overall_pct,
+                    "viol_short_pct": violations.short_pct,
+                    "viol_long_pct": violations.long_pct,
+                    "viol_q1_pct": violations.tier("Q1"),
+                    "viol_q2_pct": violations.tier("Q2"),
+                    "viol_q3_pct": violations.tier("Q3"),
+                    "tbt_miss_pct": violations.tbt_miss_pct,
+                }
+            )
+            result.rows.append(row)
+    return result
+
+
+def figure10_view(result: ExperimentResult) -> ExperimentResult:
+    """Project the sweep onto Figure 10's latency panels."""
+    view = ExperimentResult(
+        experiment="figure-10",
+        title="Per-tier p50/p95 latency vs load",
+        notes=list(result.notes),
+    )
+    keep = (
+        "scheme", "qps",
+        "q1_p50_s", "q2_p50_s", "q3_p50_s",
+        "q1_p95_s", "q2_p95_s", "q3_p95_s",
+    )
+    for row in result.rows:
+        view.rows.append({k: row[k] for k in keep})
+    return view
+
+
+def figure11_view(result: ExperimentResult) -> ExperimentResult:
+    """Project the sweep onto Figure 11's violation panels."""
+    view = ExperimentResult(
+        experiment="figure-11",
+        title="Deadline violations: overall, by length, by tier",
+        notes=list(result.notes),
+    )
+    keep = (
+        "scheme", "qps",
+        "viol_overall_pct", "viol_short_pct", "viol_long_pct",
+        "viol_q1_pct", "viol_q2_pct", "viol_q3_pct",
+    )
+    for row in result.rows:
+        view.rows.append({k: row[k] for k in keep})
+    return view
+
+
+if __name__ == "__main__":
+    combined = run()
+    print(figure10_view(combined).render())
+    print()
+    print(figure11_view(combined).render())

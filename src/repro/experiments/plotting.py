@@ -1,0 +1,201 @@
+"""Terminal (ASCII) charts for experiment results.
+
+The paper's artifacts are figures; this module renders any
+:class:`~repro.experiments.result.ExperimentResult` column as a line
+chart directly in the terminal, no plotting dependency required::
+
+    == figure-11: viol_overall_pct vs qps ==
+    60.0 |                                        F
+         |                          F
+         |            F   E
+         |  F
+     0.0 |  SEQ.......SEQ...........SQ............EQ
+         +------------------------------------------
+            2.0                                  6.0
+
+Each series gets a letter marker; overlapping points show the later
+series.  Y can be linear or log-scaled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.experiments.result import ExperimentResult
+
+MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ*+ox#@"
+
+
+def ascii_line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Args:
+        series: Mapping of series name to (x, y) points.
+        width / height: Plot area in characters.
+        title: Heading line.
+        log_y: Log-scale the y axis (non-positive values are clamped
+            to the smallest positive value present).
+
+    Returns:
+        The rendered chart as a multi-line string.
+    """
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+        if _finite(x) and _finite(y)
+    ]
+    if not points:
+        return f"== {title} ==\n(no finite data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        floor = min(positive) if positive else 1.0
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+        ys = [transform(y) for y in ys]
+    else:
+        transform = lambda y: y  # noqa: E731
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = {}
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend[marker] = name
+        for x, y in values:
+            if not (_finite(x) and _finite(y)):
+                continue
+            column = round((x - x_lo) / x_span * (width - 1))
+            row = round(
+                (transform(y) - y_lo) / y_span * (height - 1)
+            )
+            grid[height - 1 - row][column] = marker
+
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bottom = 10 ** y_lo if log_y else y_lo
+    label_width = max(len(_fmt(y_top)), len(_fmt(y_bottom)))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _fmt(y_top).rjust(label_width)
+        elif i == height - 1:
+            label = _fmt(y_bottom).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        " " * label_width + "  " + _fmt(x_lo)
+        + _fmt(x_hi).rjust(width - len(_fmt(x_lo)))
+    )
+    lines.append(x_axis)
+    lines.append(
+        "legend: " + "  ".join(f"{m}={name}" for m, name in legend.items())
+    )
+    if log_y:
+        lines.append("(log-scale y)")
+    return "\n".join(lines)
+
+
+def plot_result(
+    result: ExperimentResult,
+    y: str,
+    x: str | None = None,
+    group_by: str | None = None,
+    log_y: bool = False,
+    **chart_kwargs,
+) -> str:
+    """Chart one column of an experiment result.
+
+    Args:
+        result: The experiment to plot.
+        y: Column for the y axis.
+        x: Column for the x axis; auto-detected when omitted (first
+            numeric column with more than one distinct value that is
+            not ``y``).
+        group_by: Column defining the series; auto-detected when
+            omitted (first string-valued column).
+        log_y: Log-scale y.
+
+    Raises:
+        KeyError: If the requested columns do not exist.
+    """
+    if not result.rows:
+        return f"== {result.experiment}: no rows =="
+    columns = result.columns()
+    if y not in columns:
+        raise KeyError(f"no column {y!r}; available: {columns}")
+    if x is None:
+        x = _auto_x(result, exclude=y)
+    elif x not in columns:
+        raise KeyError(f"no column {x!r}; available: {columns}")
+    if group_by is None:
+        group_by = _auto_group(result)
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        name = str(row.get(group_by, "all")) if group_by else "all"
+        x_value = row.get(x)
+        y_value = row.get(y)
+        if isinstance(x_value, (int, float)) and isinstance(
+            y_value, (int, float)
+        ):
+            series.setdefault(name, []).append(
+                (float(x_value), float(y_value))
+            )
+    return ascii_line_chart(
+        series,
+        title=f"{result.experiment}: {y} vs {x}",
+        log_y=log_y,
+        **chart_kwargs,
+    )
+
+
+def _auto_x(result: ExperimentResult, exclude: str) -> str:
+    for column in result.columns():
+        if column == exclude:
+            continue
+        values = [
+            row.get(column)
+            for row in result.rows
+            if isinstance(row.get(column), (int, float))
+        ]
+        if len(values) == len(result.rows) and len(set(values)) > 1:
+            return column
+    raise KeyError(
+        f"{result.experiment}: no numeric x-axis candidate found"
+    )
+
+
+def _auto_group(result: ExperimentResult) -> str | None:
+    for column in result.columns():
+        if all(isinstance(row.get(column), str) for row in result.rows):
+            return column
+    return None
+
+
+def _finite(value: Any) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"

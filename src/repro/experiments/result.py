@@ -1,0 +1,79 @@
+"""Tabular experiment results with paper-style rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of an experiment plus provenance, renderable as a table.
+
+    Attributes:
+        experiment: Identifier, e.g. "figure-10".
+        title: Human-readable description.
+        rows: List of uniform dicts (column -> value).
+        notes: Free-form caveats (scale, substitutions).
+    """
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def columns(self) -> list[str]:
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            if value == float("inf"):
+                return "inf"
+            if abs(value) >= 1000:
+                return f"{value:.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Format as a fixed-width text table."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        cols = self.columns()
+        if self.rows:
+            table = [[self._fmt(row.get(c, "")) for c in cols] for row in self.rows]
+            widths = [
+                max(len(c), *(len(r[i]) for r in table))
+                for i, c in enumerate(cols)
+            ]
+            header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+            lines.append(header)
+            lines.append("-" * len(header))
+            for r in table:
+                lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across rows."""
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, **criteria: Any) -> dict[str, Any]:
+        """First row matching all key=value criteria.
+
+        Raises:
+            KeyError: If no row matches.
+        """
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria}")

@@ -1,0 +1,94 @@
+"""Table 5: the contribution of each QoServe technique.
+
+Starting from the Sarathi-EDF baseline (all techniques off, which is
+exactly QoServe with dynamic chunking, relegation and the alpha term
+disabled), techniques are layered in the paper's order: dynamic
+chunking (DC), eager relegation (ER), hybrid prioritization (HP).  Two
+measurements per configuration: goodput at optimal load, and the
+violation percentage at a fixed high load.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import (
+    build_trace,
+    goodput_search,
+    make_scheduler,
+    run_replica_trace,
+)
+from repro.schedulers.qoserve import make_ablation_config
+from repro.workload.datasets import AZURE_CODE
+
+CONFIGS = (
+    ("Sarathi-EDF", dict()),
+    ("QoServe (DC)", dict(dynamic_chunking=True)),
+    ("QoServe (DC+ER)", dict(dynamic_chunking=True, eager_relegation=True)),
+    (
+        "QoServe (DC+ER+HP)",
+        dict(
+            dynamic_chunking=True,
+            eager_relegation=True,
+            hybrid_prioritization=True,
+        ),
+    ),
+)
+
+
+def run(
+    scale: Scale = BENCH,
+    high_load_qps: float = 6.0,
+    deployment: str = "llama3-8b",
+) -> ExperimentResult:
+    """Reproduce Table 5's ablation."""
+    execution_model = get_execution_model(deployment)
+    base = build_trace(
+        AZURE_CODE,
+        qps=1.0,
+        num_requests=scale.requests_for(high_load_qps),
+        seed=scale.seed,
+    )
+    result = ExperimentResult(
+        experiment="table-05",
+        title="Impact of QoServe's optimizations",
+        notes=[
+            f"scale={scale.label}; high load = {high_load_qps} QPS; "
+            "dataset=AzCode"
+        ],
+    )
+    previous_goodput: float | None = None
+    for label, flags in CONFIGS:
+        config = make_ablation_config(**flags)
+        capacity = goodput_search(
+            "qoserve",
+            execution_model,
+            AZURE_CODE,
+            num_requests=scale.num_requests,
+            seed=scale.seed,
+            qoserve_config=config,
+        )
+        trace = base.scaled_arrivals(high_load_qps)
+        scheduler = make_scheduler(
+            "qoserve", execution_model, qoserve_config=config
+        )
+        summary, _ = run_replica_trace(execution_model, scheduler, trace)
+        gain_pct = (
+            100.0 * (capacity.max_qps - previous_goodput) / previous_goodput
+            if previous_goodput
+            else float("nan")
+        )
+        result.rows.append(
+            {
+                "config": label,
+                "goodput_qps": capacity.max_qps,
+                "goodput_gain_pct": gain_pct,
+                "high_load_viol_pct": summary.violations.overall_pct,
+            }
+        )
+        previous_goodput = capacity.max_qps
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,15 @@
+"""A from-scratch random-forest regressor (NumPy only).
+
+The paper trains "a lightweight random forest model which predicts the
+execution time of a given batch" (Section 3.6.1).  scikit-learn is not
+a dependency of this reproduction, so this package implements the two
+pieces needed: CART regression trees with variance-reduction splits,
+and a bagged forest with optional quantile aggregation — the quantile
+is how we reproduce the paper's "tune the model to err on the side of
+under-predicting chunk size" (over-predicting latency).
+"""
+
+from repro.forest.tree import DecisionTreeRegressor
+from repro.forest.forest import RandomForestRegressor
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]

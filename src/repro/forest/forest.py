@@ -1,0 +1,108 @@
+"""Bagged random forest over :class:`DecisionTreeRegressor`.
+
+Supports mean aggregation (standard regression) and quantile
+aggregation across trees; the dynamic chunker uses a high latency
+quantile so that chunk-size predictions err small, matching the
+under-prediction tuning described in Section 3.6.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Args:
+        n_trees: Number of bootstrap trees.
+        max_depth: Depth limit per tree.
+        min_samples_leaf: Leaf-size minimum per tree.
+        max_features: Features sampled per split (``None`` = all).
+        seed: Seed for bootstrap sampling and feature sub-sampling.
+        """
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeRegressor] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit ``n_trees`` trees on bootstrap resamples of (x, y)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != len(y):
+            raise ValueError("x and y must have the same length")
+        if len(x) == 0:
+            raise ValueError("cannot fit a forest on zero samples")
+        rng = np.random.default_rng(self.seed)
+        n = len(x)
+        self._trees = []
+        for _ in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(x[sample], y[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_one(
+        self,
+        features: np.ndarray | tuple[float, ...],
+        quantile: float | None = None,
+    ) -> float:
+        """Predict one sample.
+
+        Args:
+            features: Feature vector.
+            quantile: When given, return this quantile of the per-tree
+                predictions instead of their mean.  A high quantile
+                (e.g. 0.8) yields conservative (large) latency
+                estimates, which the chunker uses to stay on the safe
+                side of SLOs.
+        """
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        votes = [tree.predict_one(features) for tree in self._trees]
+        if quantile is None:
+            return float(sum(votes) / len(votes))
+        return float(np.quantile(votes, quantile))
+
+    def predict(
+        self, x: np.ndarray, quantile: float | None = None
+    ) -> np.ndarray:
+        """Predict a batch of samples."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        return np.array(
+            [self.predict_one(row, quantile=quantile) for row in x]
+        )
+
+    def mean_relative_error(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean |pred - y| / y on a held-out set (paper cites <10%)."""
+        y = np.asarray(y, dtype=np.float64)
+        preds = self.predict(x)
+        mask = y > 0
+        return float(np.mean(np.abs(preds[mask] - y[mask]) / y[mask]))

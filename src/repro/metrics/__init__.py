@@ -1,0 +1,37 @@
+"""Latency extraction, SLO accounting and summaries.
+
+Implements the paper's measurement vocabulary: TTFT / TBT / TTLT
+(Section 2.1), deadline violations overall / per tier / by request
+length (Figures 10-11), goodput (requests per second within SLO,
+Section 4.1.2) and rolling-window percentiles (Figure 13).
+"""
+
+from repro.metrics.latency import (
+    governing_latency,
+    latency_percentiles,
+    rolling_percentile,
+)
+from repro.metrics.slo import ViolationReport, violation_report
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.metrics.export import (
+    load_result_json,
+    result_to_csv,
+    result_to_json,
+    summary_to_dict,
+    summary_to_json,
+)
+
+__all__ = [
+    "load_result_json",
+    "result_to_csv",
+    "result_to_json",
+    "summary_to_dict",
+    "summary_to_json",
+    "governing_latency",
+    "latency_percentiles",
+    "rolling_percentile",
+    "ViolationReport",
+    "violation_report",
+    "RunSummary",
+    "summarize_run",
+]

@@ -1,0 +1,101 @@
+"""Export run summaries and experiment results to CSV / JSON.
+
+Experiment tables are the artifacts users archive and plot; this
+module writes them in machine-readable forms without adding any
+dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.result import ExperimentResult
+from repro.metrics.summary import RunSummary
+
+
+def result_to_csv(result: ExperimentResult, path: str | Path) -> None:
+    """Write an experiment's rows as CSV with a stable column order."""
+    columns = result.columns()
+    with Path(path).open("w", newline="") as sink:
+        writer = csv.DictWriter(sink, fieldnames=columns)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow({c: row.get(c, "") for c in columns})
+
+
+def result_to_json(result: ExperimentResult, path: str | Path) -> None:
+    """Write an experiment (rows + provenance) as JSON."""
+    payload = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "notes": result.notes,
+        "rows": [_jsonable(row) for row in result.rows],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_result_json(path: str | Path) -> ExperimentResult:
+    """Round-trip loader for :func:`result_to_json` files."""
+    payload = json.loads(Path(path).read_text())
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        title=payload["title"],
+        rows=payload["rows"],
+        notes=payload["notes"],
+    )
+
+
+def summary_to_dict(summary: RunSummary) -> dict[str, Any]:
+    """Flatten a :class:`RunSummary` into a JSON-friendly dict."""
+    violations = summary.violations
+    flat: dict[str, Any] = {
+        "num_requests": summary.num_requests,
+        "finished": summary.finished,
+        "qps_served": summary.qps_served,
+        "mean_ttft": summary.mean_ttft,
+        "mean_tbt": summary.mean_tbt,
+        "drain_time": summary.drain_time,
+        "arrival_span": summary.arrival_span,
+        "queue_delay_trend": summary.queue_delay_trend,
+        "violations": {
+            "overall_pct": violations.overall_pct,
+            "short_pct": violations.short_pct,
+            "long_pct": violations.long_pct,
+            "important_pct": violations.important_pct,
+            "low_priority_pct": violations.low_priority_pct,
+            "per_tier_pct": dict(violations.per_tier_pct),
+            "tbt_miss_pct": violations.tbt_miss_pct,
+            "relegated_pct": violations.relegated_pct,
+        },
+        "latency_percentiles_by_tier": {
+            tier: {str(q): v for q, v in percentiles.items()}
+            for tier, percentiles in
+            summary.latency_percentiles_by_tier.items()
+        },
+        "overall_percentiles": {
+            str(q): v for q, v in summary.overall_percentiles.items()
+        },
+    }
+    return _jsonable(flat)
+
+
+def summary_to_json(summary: RunSummary, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(summary_to_dict(summary), indent=2))
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively replace NaN/inf (JSON has neither) with strings."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+    return value

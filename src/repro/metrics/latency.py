@@ -1,0 +1,92 @@
+"""Per-request latency extraction and percentile helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.request import Request
+
+
+def governing_latency(request: Request, now: float | None = None) -> float:
+    """The latency metric the request's QoS class is judged on.
+
+    Interactive requests are judged on TTFT, non-interactive ones on
+    TTLT (Section 3.2).  For requests still unfinished at measurement
+    time, the elapsed wait so far is returned when ``now`` is given
+    (a lower bound on the eventual latency); otherwise ``inf``.
+    """
+    if request.is_interactive:
+        value = request.ttft
+    else:
+        value = request.ttlt
+    if value is not None:
+        return value
+    if now is None:
+        return math.inf
+    return max(0.0, now - request.arrival_time)
+
+
+def latency_percentiles(
+    requests: Iterable[Request],
+    quantiles: Sequence[float] = (0.50, 0.95, 0.99),
+    now: float | None = None,
+) -> dict[float, float]:
+    """Quantiles of the governing latency over ``requests``.
+
+    Returns NaN entries for an empty request set.
+    """
+    values = np.array(
+        [governing_latency(r, now) for r in requests], dtype=np.float64
+    )
+    if len(values) == 0:
+        return {q: float("nan") for q in quantiles}
+    # With ``now`` given every value is finite (unfinished requests
+    # contribute their elapsed wait); without it they are +inf and a
+    # quantile falling inside the unfinished mass reports inf, which is
+    # the honest answer.
+    values.sort()
+    result = {}
+    for q in quantiles:
+        index = min(len(values) - 1, int(math.ceil(q * len(values))) - 1)
+        result[q] = float(values[max(0, index)])
+    return result
+
+
+def rolling_percentile(
+    requests: Iterable[Request],
+    quantile: float = 0.99,
+    window: float = 60.0,
+    step: float | None = None,
+    now: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rolling-window latency percentile keyed by arrival time.
+
+    Reproduces Figure 13's "rolling average of p99 latency": requests
+    are bucketed by arrival into windows of ``window`` seconds and the
+    requested quantile of the governing latency is computed per window.
+
+    Returns:
+        ``(window_centers, values)`` arrays; empty windows carry NaN.
+    """
+    requests = list(requests)
+    if not requests:
+        return np.array([]), np.array([])
+    step = step or window
+    arrivals = np.array([r.arrival_time for r in requests])
+    values = np.array([governing_latency(r, now) for r in requests])
+    t0, t1 = arrivals.min(), arrivals.max()
+    centers = []
+    series = []
+    t = t0
+    while t <= t1:
+        mask = (arrivals >= t) & (arrivals < t + window)
+        centers.append(t + window / 2.0)
+        if mask.any():
+            series.append(float(np.quantile(values[mask], quantile)))
+        else:
+            series.append(float("nan"))
+        t += step
+    return np.array(centers), np.array(series)

@@ -1,0 +1,137 @@
+"""Deadline-violation accounting (Figures 10-12 vocabulary).
+
+A request violates its SLO when its governing deadline is missed:
+TTFT for interactive tiers, TTLT for non-interactive ones.  TBT misses
+are tracked separately (the paper reports them as negligible once the
+chunk budget respects the strictest tier).  Violations are broken down
+overall, per QoS bucket, by request length (short vs long at the 90th
+percentile of prompt tokens, Figure 11) and by importance hint
+(Figure 12's "Important" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.request import Request
+
+
+@dataclass
+class ViolationReport:
+    """Violation percentages over one run.
+
+    All percentages are in [0, 100].  ``long_threshold`` records the
+    prompt-length cutoff used for the short/long split.
+    """
+
+    total_requests: int
+    overall_pct: float
+    short_pct: float
+    long_pct: float
+    important_pct: float
+    low_priority_pct: float
+    per_tier_pct: dict[str, float] = field(default_factory=dict)
+    tbt_miss_pct: float = 0.0
+    relegated_pct: float = 0.0
+    long_threshold: float = 0.0
+
+    def tier(self, name: str) -> float:
+        """Violation percentage of one QoS bucket (NaN if absent)."""
+        return self.per_tier_pct.get(name, float("nan"))
+
+
+def _pct(flags: np.ndarray, mask: np.ndarray | None = None) -> float:
+    if mask is not None:
+        flags = flags[mask]
+    if len(flags) == 0:
+        return float("nan")
+    return float(100.0 * flags.mean())
+
+
+def violation_report(
+    requests: Iterable[Request],
+    now: float | None = None,
+    long_percentile: float = 90.0,
+) -> ViolationReport:
+    """Compute the full violation breakdown for a set of requests.
+
+    Args:
+        requests: Requests that were submitted during the measurement
+            interval (finished or not).
+        now: Measurement timestamp; unfinished requests whose deadline
+            has not yet passed at ``now`` are *excluded* (their outcome
+            is unknown).  With ``now=None`` unfinished requests count
+            as violations.
+        long_percentile: Prompt-length percentile splitting short from
+            long requests (paper: 90th).
+    """
+    requests = list(requests)
+    if now is not None:
+        requests = [
+            r
+            for r in requests
+            if r.is_finished or r.violated_by(now)
+        ]
+    if not requests:
+        return ViolationReport(
+            total_requests=0,
+            overall_pct=float("nan"),
+            short_pct=float("nan"),
+            long_pct=float("nan"),
+            important_pct=float("nan"),
+            low_priority_pct=float("nan"),
+        )
+
+    violated = np.array(
+        [
+            r.violated_by(now) if now is not None else r.violated_deadline
+            for r in requests
+        ],
+        dtype=bool,
+    )
+    prompts = np.array([r.prompt_tokens for r in requests], dtype=np.float64)
+    important = np.array([r.important for r in requests], dtype=bool)
+    threshold = float(np.percentile(prompts, long_percentile))
+    is_long = prompts >= threshold
+
+    per_tier: dict[str, float] = {}
+    tier_names = sorted({r.qos.name for r in requests})
+    for name in tier_names:
+        mask = np.array([r.qos.name == name for r in requests], dtype=bool)
+        per_tier[name] = _pct(violated, mask)
+
+    # TBT pacing is judged on Eq. 2 deadlines, over interactive
+    # requests that met their TTFT — a late first token poisons every
+    # subsequent per-token deadline, which would double-count the TTFT
+    # violation as thousands of TBT violations.
+    on_time = [
+        r
+        for r in requests
+        if r.is_finished
+        and r.is_interactive
+        and r.first_token_time is not None
+        and r.first_token_time <= r.first_token_deadline
+    ]
+    total_tokens = sum(r.decoded for r in on_time)
+    tbt_misses = sum(r.tbt_deadline_misses for r in on_time)
+    tbt_miss_pct = (
+        100.0 * tbt_misses / total_tokens if total_tokens else 0.0
+    )
+
+    return ViolationReport(
+        total_requests=len(requests),
+        overall_pct=_pct(violated),
+        short_pct=_pct(violated, ~is_long),
+        long_pct=_pct(violated, is_long),
+        important_pct=_pct(violated, important),
+        low_priority_pct=_pct(violated, ~important),
+        per_tier_pct=per_tier,
+        tbt_miss_pct=tbt_miss_pct,
+        relegated_pct=100.0
+        * sum(1 for r in requests if r.relegated)
+        / len(requests),
+        long_threshold=threshold,
+    )

@@ -1,0 +1,44 @@
+"""Analytical performance model of transformer inference.
+
+This package plays the role the A100/H100 testbed plays in the paper:
+given a mixed batch of prefill chunks and decode tokens it returns the
+iteration execution time.  The model captures the two regimes that
+matter to the scheduler — memory-bound decode (weight + KV traffic) and
+compute-bound prefill (linear + quadratic attention FLOPs) — plus a
+fixed per-iteration overhead, and is calibrated so the chunk-size
+throughput/latency trade-off matches Figure 4 of the paper (throughput
+saturating near chunk 2500, ~50 ms batches at chunk ~330 for Llama3-8B
+on A100).
+
+It also exposes the Vidur-style profiling harness used to train the
+random-forest batch-latency predictor of Section 3.6.1.
+"""
+
+from repro.perfmodel.hardware import A100_80GB, H100_80GB, HardwareSpec
+from repro.perfmodel.modelspec import (
+    LLAMA3_70B,
+    LLAMA3_8B,
+    QWEN_7B,
+    ModelSpec,
+)
+from repro.perfmodel.execution import (
+    BatchShape,
+    ExecutionModel,
+    PrefillChunk,
+)
+from repro.perfmodel.profiler import ProfileSample, Profiler
+
+__all__ = [
+    "A100_80GB",
+    "H100_80GB",
+    "HardwareSpec",
+    "LLAMA3_8B",
+    "LLAMA3_70B",
+    "QWEN_7B",
+    "ModelSpec",
+    "BatchShape",
+    "ExecutionModel",
+    "PrefillChunk",
+    "ProfileSample",
+    "Profiler",
+]

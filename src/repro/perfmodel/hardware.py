@@ -1,0 +1,56 @@
+"""GPU hardware specifications used by the execution-time model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Capabilities of a single accelerator.
+
+    Attributes:
+        name: Human-readable identifier.
+        peak_flops: Peak dense bf16 throughput in FLOP/s.
+        mem_bandwidth: HBM bandwidth in bytes/s.
+        mem_capacity: Usable device memory in bytes.
+        mfu_linear: Achievable fraction of peak on large GEMMs.
+        mfu_attention: Achievable fraction of peak on attention kernels.
+        base_overhead: Fixed per-iteration overhead in seconds (kernel
+            launches, scheduler bookkeeping, sampling).
+        tp_link_overhead: Additional per-iteration overhead per tensor
+            parallel rank beyond the first (allreduce latency), seconds.
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    mem_capacity: float
+    mfu_linear: float = 0.55
+    mfu_attention: float = 0.30
+    base_overhead: float = 2.5e-3
+    tp_link_overhead: float = 0.6e-3
+
+    def overhead(self, tp_degree: int) -> float:
+        """Per-iteration fixed overhead for a TP group of this hardware."""
+        return self.base_overhead + self.tp_link_overhead * (tp_degree - 1)
+
+
+#: NVIDIA A100 80GB SXM: 312 TFLOP/s bf16, 2.04 TB/s HBM2e.
+A100_80GB = HardwareSpec(
+    name="A100-80GB",
+    peak_flops=312e12,
+    mem_bandwidth=2.039e12,
+    mem_capacity=80e9,
+)
+
+#: NVIDIA H100 80GB SXM: 989 TFLOP/s bf16, 3.35 TB/s HBM3.
+H100_80GB = HardwareSpec(
+    name="H100-80GB",
+    peak_flops=989e12,
+    mem_bandwidth=3.35e12,
+    mem_capacity=80e9,
+    mfu_linear=0.50,
+    mfu_attention=0.28,
+    base_overhead=2.2e-3,
+)

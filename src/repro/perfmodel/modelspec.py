@@ -1,0 +1,109 @@
+"""Transformer model architecture specifications.
+
+Only the quantities the cost model needs are recorded: layer counts and
+widths (for FLOPs and weight bytes) and the KV head layout (for KV-cache
+size and attention memory traffic).  The three models match Table 1 of
+the paper, including the GQA-vs-MHA distinction that makes Qwen-7B far
+more KV-hungry than Llama3-8B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BYTES_PER_PARAM = 2  # bf16 weights
+BYTES_PER_KV_SCALAR = 2  # bf16 KV cache
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description of a decoder-only transformer.
+
+    Attributes:
+        name: Human readable identifier.
+        num_layers: Number of transformer blocks.
+        hidden_size: Model (embedding) dimension.
+        intermediate_size: MLP hidden dimension (per direction).
+        num_q_heads: Query heads.
+        num_kv_heads: Key/value heads (``num_q_heads`` for MHA, fewer
+            for GQA).
+        vocab_size: Vocabulary size (for the LM head GEMM).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    intermediate_size: int
+    num_q_heads: int
+    num_kv_heads: int
+    vocab_size: int
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_q_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (or V) projection output."""
+        return self.num_kv_heads * self.head_dim
+
+    def linear_flops_per_token(self) -> float:
+        """Dense (GEMM) FLOPs to push one token through the network.
+
+        Counts QKV/output projections, the gated MLP, and the LM head,
+        at 2 FLOPs per multiply-accumulate.
+        """
+        h = self.hidden_size
+        attn_proj = h * h + 2 * h * self.kv_dim + h * h  # Q, K, V, O
+        mlp = 3 * h * self.intermediate_size  # gate, up, down
+        per_layer = 2.0 * (attn_proj + mlp)
+        lm_head = 2.0 * h * self.vocab_size
+        return per_layer * self.num_layers + lm_head
+
+    def weight_bytes(self) -> float:
+        """Total parameter bytes that each iteration streams from HBM."""
+        h = self.hidden_size
+        attn_proj = h * h + 2 * h * self.kv_dim + h * h
+        mlp = 3 * h * self.intermediate_size
+        per_layer = attn_proj + mlp
+        embed = h * self.vocab_size
+        total_params = per_layer * self.num_layers + 2 * embed
+        return total_params * BYTES_PER_PARAM
+
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes stored per token across all layers."""
+        return 2.0 * self.kv_dim * BYTES_PER_KV_SCALAR * self.num_layers
+
+
+#: Llama3-8B: 32 layers, GQA 32/8 heads (Table 1, TP1 on A100).
+LLAMA3_8B = ModelSpec(
+    name="Llama3-8B",
+    num_layers=32,
+    hidden_size=4096,
+    intermediate_size=14336,
+    num_q_heads=32,
+    num_kv_heads=8,
+    vocab_size=128256,
+)
+
+#: Qwen-7B: 32 layers, MHA 32/32 heads (Table 1, TP2 on A100).
+QWEN_7B = ModelSpec(
+    name="Qwen-7B",
+    num_layers=32,
+    hidden_size=4096,
+    intermediate_size=11008,
+    num_q_heads=32,
+    num_kv_heads=32,
+    vocab_size=151936,
+)
+
+#: Llama3-70B: 80 layers, GQA 64/8 heads (Table 1, TP4 on H100).
+LLAMA3_70B = ModelSpec(
+    name="Llama3-70B",
+    num_layers=80,
+    hidden_size=8192,
+    intermediate_size=28672,
+    num_q_heads=64,
+    num_kv_heads=8,
+    vocab_size=128256,
+)

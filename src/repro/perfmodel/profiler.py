@@ -1,0 +1,147 @@
+"""Vidur-style profiling harness.
+
+The paper trains its batch-latency predictor "on latency profiles of
+MLP and attention operation collected at varying chunk sizes, batch
+sizes as well as context lengths ... using a lightweight harness
+exposed by an inference simulator Vidur" (Section 3.6.1).  Here the
+:class:`~repro.perfmodel.execution.ExecutionModel` is the thing being
+profiled: the harness sweeps (chunk size, decode batch size, context
+length) grids, optionally perturbs the measurements with multiplicative
+noise to emulate real measurement jitter, and emits feature/latency
+samples the random forest trains on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.execution import BatchShape, ExecutionModel, PrefillChunk
+
+#: Feature vector layout shared by the profiler and the predictor:
+#: [prefill_tokens, prefill_context_before, num_decodes, decode_context_total]
+FEATURE_NAMES = (
+    "prefill_tokens",
+    "prefill_context_before",
+    "num_decodes",
+    "decode_context_total",
+)
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """One profiled batch: features plus measured latency (seconds)."""
+
+    prefill_tokens: int
+    prefill_context_before: int
+    num_decodes: int
+    decode_context_total: int
+    latency: float
+
+    def features(self) -> tuple[float, float, float, float]:
+        return (
+            float(self.prefill_tokens),
+            float(self.prefill_context_before),
+            float(self.num_decodes),
+            float(self.decode_context_total),
+        )
+
+
+def batch_features(shape: BatchShape) -> tuple[float, float, float, float]:
+    """Map a :class:`BatchShape` to the predictor's feature vector."""
+    context_before = sum(c.context_before for c in shape.prefill_chunks)
+    return (
+        float(shape.prefill_tokens),
+        float(context_before),
+        float(shape.num_decodes),
+        float(shape.decode_context_total),
+    )
+
+
+class Profiler:
+    """Sweeps the execution model over batch-shape grids."""
+
+    DEFAULT_CHUNK_SIZES = (0, 32, 64, 96, 128, 192, 256, 320, 384, 448,
+                           512, 640, 768, 896, 1024, 1280, 1536, 1792,
+                           2048, 2304, 2560, 2816, 3072, 3584, 4096)
+    DEFAULT_BATCH_SIZES = (0, 1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256)
+    DEFAULT_CONTEXTS = (0, 256, 512, 1024, 2048, 4096, 8192)
+
+    def __init__(
+        self,
+        execution_model: ExecutionModel,
+        noise_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Args:
+        execution_model: The deployment to profile.
+        noise_std: Relative std-dev of multiplicative lognormal noise
+            applied to latencies, emulating measurement jitter.
+        rng: Source of noise randomness (required if noise_std > 0).
+        """
+        self.execution_model = execution_model
+        self.noise_std = float(noise_std)
+        if self.noise_std > 0 and rng is None:
+            raise ValueError("noise_std > 0 requires an rng")
+        self._rng = rng
+
+    def _measure(self, shape: BatchShape) -> float:
+        latency = self.execution_model.batch_time(shape)
+        if self.noise_std > 0 and self._rng is not None:
+            latency *= float(
+                np.exp(self._rng.normal(0.0, self.noise_std))
+            )
+        return latency
+
+    def collect(
+        self,
+        chunk_sizes: tuple[int, ...] | None = None,
+        batch_sizes: tuple[int, ...] | None = None,
+        contexts: tuple[int, ...] | None = None,
+    ) -> list[ProfileSample]:
+        """Profile the full (chunk, batch, context) grid.
+
+        Empty batches (no prefill and no decodes) are skipped.  Decode
+        context per request is taken from the ``contexts`` grid, as is
+        the prefill chunk's prior context.
+        """
+        chunk_sizes = chunk_sizes or self.DEFAULT_CHUNK_SIZES
+        batch_sizes = batch_sizes or self.DEFAULT_BATCH_SIZES
+        contexts = contexts or self.DEFAULT_CONTEXTS
+
+        samples: list[ProfileSample] = []
+        for chunk in chunk_sizes:
+            for batch in batch_sizes:
+                if chunk == 0 and batch == 0:
+                    continue
+                for ctx in contexts:
+                    chunks = (
+                        [PrefillChunk(tokens=chunk, context_before=ctx)]
+                        if chunk > 0
+                        else []
+                    )
+                    decode_context_total = batch * max(ctx, 1)
+                    shape = BatchShape(
+                        prefill_chunks=chunks,
+                        num_decodes=batch,
+                        decode_context_total=decode_context_total,
+                    )
+                    samples.append(
+                        ProfileSample(
+                            prefill_tokens=chunk,
+                            prefill_context_before=ctx if chunk > 0 else 0,
+                            num_decodes=batch,
+                            decode_context_total=decode_context_total,
+                            latency=self._measure(shape),
+                        )
+                    )
+        return samples
+
+    def to_arrays(
+        self, samples: list[ProfileSample]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack samples into (X, y) matrices for model training."""
+        x = np.array([s.features() for s in samples], dtype=np.float64)
+        y = np.array([s.latency for s in samples], dtype=np.float64)
+        return x, y

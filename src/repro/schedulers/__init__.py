@@ -1,0 +1,48 @@
+"""Scheduling policies.
+
+All policies share the replica engine; they differ only in how the
+prefill queue is ordered and how the per-iteration token budget is
+chosen — exactly the isolation the paper's evaluation aims for
+("evaluate different scheduling policies within the same serving
+framework to isolate algorithmic improvements").
+
+Baselines (Section 2.4 / Section 4):
+
+* :class:`FCFSScheduler` — Sarathi with arrival-order prefill.
+* :class:`SJFScheduler` — shortest estimated job first.
+* :class:`SRPFScheduler` — shortest remaining prompt first.
+* :class:`EDFScheduler` — earliest governing deadline first.
+
+The contribution (Section 3):
+
+* :class:`QoServeScheduler` — hybrid prioritization + dynamic
+  chunking + eager relegation + selective preemption (Algorithm 1).
+
+Concurrent work re-implemented for Section 4.5:
+
+* :class:`MedhaScheduler` — adaptive chunking against a fixed TBT
+  target, FCFS ordered.
+"""
+
+from repro.schedulers.base import FixedChunkScheduler
+from repro.schedulers.classic import (
+    EDFScheduler,
+    FCFSScheduler,
+    SJFScheduler,
+    SRPFScheduler,
+)
+from repro.schedulers.qoserve import QoServeConfig, QoServeScheduler
+from repro.schedulers.medha import MedhaScheduler
+from repro.schedulers.conserve import ConServeScheduler
+
+__all__ = [
+    "FixedChunkScheduler",
+    "EDFScheduler",
+    "FCFSScheduler",
+    "SJFScheduler",
+    "SRPFScheduler",
+    "QoServeConfig",
+    "QoServeScheduler",
+    "MedhaScheduler",
+    "ConServeScheduler",
+]

@@ -1,0 +1,89 @@
+"""Classic multi-tenant scheduling policies (Section 2.4).
+
+These are the literature baselines the paper analyses in Figure 2 and
+evaluates against in Section 4: FCFS, SJF, SRPF and EDF, each realized
+as a queue ordering over the shared fixed-chunk Sarathi engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.decode_estimator import (
+    DecodeLengthEstimator,
+    HistoryDecodeEstimator,
+)
+from repro.core.request import Request
+from repro.schedulers.base import FixedChunkScheduler
+
+
+class FCFSScheduler(FixedChunkScheduler):
+    """First-come-first-served: process in arrival order.
+
+    The production default (Sarathi/vLLM); deadline-unaware, so urgent
+    requests stall behind non-urgent ones under load.
+    """
+
+    name = "FCFS"
+
+    def priority(self, request: Request, now: float) -> float:
+        return request.arrival_time
+
+
+class SJFScheduler(FixedChunkScheduler):
+    """Shortest job first, on *estimated total* service demand.
+
+    Job size is the prompt length plus the application's historic
+    decode-length estimate weighted by how much slower decode tokens
+    are than prefill tokens (each decode token costs a full iteration).
+    """
+
+    name = "SJF"
+
+    def __init__(
+        self,
+        chunk_size: int = 256,
+        decode_estimator: DecodeLengthEstimator | None = None,
+        decode_token_weight: float = 100.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(chunk_size=chunk_size, **kwargs)
+        self.decode_estimator = decode_estimator or HistoryDecodeEstimator()
+        self.decode_token_weight = float(decode_token_weight)
+
+    def priority(self, request: Request, now: float) -> float:
+        decode_estimate = self.decode_estimator.estimate(request)
+        return (
+            request.prompt_tokens
+            + self.decode_token_weight * decode_estimate
+        )
+
+    def on_request_complete(self, request: Request, now: float) -> None:
+        self.decode_estimator.observe(request)
+
+
+class SRPFScheduler(FixedChunkScheduler):
+    """Shortest remaining prompt first (preemptive).
+
+    Re-evaluated every iteration, so a long prompt mid-prefill is
+    preempted the moment a shorter one arrives — which is exactly the
+    unfairness to long jobs that Figure 2(d) documents.
+    """
+
+    name = "SRPF"
+
+    def priority(self, request: Request, now: float) -> float:
+        return float(request.remaining_prefill)
+
+
+class EDFScheduler(FixedChunkScheduler):
+    """Earliest deadline first on the governing SLO deadline.
+
+    Interactive requests are ordered by their TTFT deadline (Eq. 1),
+    non-interactive ones by their TTLT deadline (Eq. 3).  Optimal at
+    low load, but collapses once the queue outgrows capacity because
+    it keeps serving requests that are already doomed.
+    """
+
+    name = "EDF"
+
+    def priority(self, request: Request, now: float) -> float:
+        return request.first_token_deadline

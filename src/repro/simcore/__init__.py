@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal machinery every other subsystem builds
+on: a virtual clock, an event heap with deterministic tie-breaking, and
+seeded random-number streams so that every experiment in the repository
+is exactly reproducible.
+"""
+
+from repro.simcore.events import Event, EventQueue
+from repro.simcore.rng import RngStreams
+from repro.simcore.simulator import Simulator
+
+__all__ = ["Event", "EventQueue", "RngStreams", "Simulator"]

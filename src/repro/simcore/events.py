@@ -1,0 +1,89 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, seq)``.  The monotonically
+increasing sequence number guarantees a deterministic total order even
+when two events share a timestamp, which keeps simulations reproducible
+across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Attributes:
+        time: Simulated timestamp (seconds) at which the event fires.
+        priority: Secondary ordering key; lower fires first at equal time.
+        seq: Tie-breaking sequence number assigned by the queue.
+        action: Zero-argument callable invoked when the event fires.
+        cancelled: When True the event is skipped by the simulator.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default=0)
+    action: Callable[[], None] | None = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of :class:`Event` objects with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time != time:  # NaN guard: a NaN timestamp corrupts heap order
+            raise ValueError("event time must not be NaN")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            IndexError: If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Return the timestamp of the next live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

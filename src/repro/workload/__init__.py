@@ -1,0 +1,58 @@
+"""Workload generation: request lengths, arrivals, QoS tiers, traces.
+
+The paper evaluates on ShareGPT and two Azure production traces.  Those
+traces are not redistributable, so this package generates synthetic
+equivalents: lognormal prompt/decode length distributions fit to the
+published p50/p90 values of Table 2, Poisson arrivals (as the paper
+itself uses), the diurnal square-wave load of Section 4.3, and the
+three-tier QoS composition of Table 3.
+"""
+
+from repro.workload.distributions import LengthDistribution, LognormalLengths
+from repro.workload.datasets import (
+    AZURE_CODE,
+    AZURE_CONV,
+    DATASETS,
+    SHAREGPT,
+    DatasetSpec,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    PoissonArrivals,
+    burst_schedule,
+)
+from repro.workload.tiers import TierAssigner, TierMix
+from repro.workload.trace import Trace, TraceBuilder
+from repro.workload.analysis import TraceStats, analyze_trace
+from repro.workload.azure_csv import load_azure_trace, write_azure_csv
+from repro.workload.sessions import (
+    SessionProfile,
+    SessionWorkload,
+    session_turn_index,
+)
+
+__all__ = [
+    "TraceStats",
+    "analyze_trace",
+    "load_azure_trace",
+    "write_azure_csv",
+    "SessionProfile",
+    "SessionWorkload",
+    "session_turn_index",
+    "LengthDistribution",
+    "LognormalLengths",
+    "AZURE_CODE",
+    "AZURE_CONV",
+    "DATASETS",
+    "SHAREGPT",
+    "DatasetSpec",
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "burst_schedule",
+    "TierAssigner",
+    "TierMix",
+    "Trace",
+    "TraceBuilder",
+]

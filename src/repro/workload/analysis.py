@@ -1,0 +1,121 @@
+"""Trace analysis: the workload-characterization numbers papers report.
+
+Produces the Table 2-style statistics for any trace — token-count
+percentiles, tier composition, arrival-rate profile — so synthetic
+traces can be validated against their targets and custom traces can be
+characterized before a capacity study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workload.trace import Trace
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of one trace.
+
+    Attributes:
+        num_requests: Trace size.
+        duration: First-to-last arrival span in seconds.
+        mean_qps: Average arrival rate.
+        prompt_percentiles: ``{q: tokens}`` for prompt lengths.
+        decode_percentiles: ``{q: tokens}`` for decode lengths.
+        tier_shares: Fraction of requests per QoS bucket.
+        important_share: Fraction flagged important.
+        total_prefill_tokens: Sum of prompt tokens (work volume).
+        total_decode_tokens: Sum of decode tokens.
+        peak_qps: Largest arrival rate over ``window`` seconds.
+    """
+
+    num_requests: int
+    duration: float
+    mean_qps: float
+    prompt_percentiles: dict[float, float] = field(default_factory=dict)
+    decode_percentiles: dict[float, float] = field(default_factory=dict)
+    tier_shares: dict[str, float] = field(default_factory=dict)
+    important_share: float = 1.0
+    total_prefill_tokens: int = 0
+    total_decode_tokens: int = 0
+    peak_qps: float = 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"requests: {self.num_requests}, "
+            f"span: {self.duration:.0f}s, "
+            f"mean {self.mean_qps:.2f} QPS (peak {self.peak_qps:.2f})",
+            "prompt tokens: "
+            + "  ".join(
+                f"p{int(q * 100)}={v:.0f}"
+                for q, v in sorted(self.prompt_percentiles.items())
+            ),
+            "decode tokens: "
+            + "  ".join(
+                f"p{int(q * 100)}={v:.0f}"
+                for q, v in sorted(self.decode_percentiles.items())
+            ),
+            "tiers: "
+            + "  ".join(
+                f"{name}={share * 100:.1f}%"
+                for name, share in sorted(self.tier_shares.items())
+            ),
+            f"important: {self.important_share * 100:.1f}%",
+            f"work: {self.total_prefill_tokens} prefill + "
+            f"{self.total_decode_tokens} decode tokens",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_trace(
+    trace: Trace,
+    quantiles: tuple[float, ...] = (0.50, 0.90, 0.99),
+    peak_window: float = 60.0,
+) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    if len(trace) == 0:
+        return TraceStats(num_requests=0, duration=0.0, mean_qps=0.0)
+
+    prompts = np.array([r.prompt_tokens for r in trace], dtype=np.float64)
+    decodes = np.array([r.decode_tokens for r in trace], dtype=np.float64)
+    arrivals = np.array([r.arrival_time for r in trace])
+    duration = float(arrivals.max() - arrivals.min())
+
+    tier_counts: dict[str, int] = {}
+    for request in trace:
+        tier_counts[request.qos.name] = (
+            tier_counts.get(request.qos.name, 0) + 1
+        )
+
+    peak = 0.0
+    if duration > 0:
+        edges = np.arange(arrivals.min(), arrivals.max() + peak_window,
+                          peak_window)
+        counts, _ = np.histogram(arrivals, bins=edges)
+        if len(counts):
+            peak = float(counts.max() / peak_window)
+
+    return TraceStats(
+        num_requests=len(trace),
+        duration=duration,
+        mean_qps=len(trace) / duration if duration > 0 else 0.0,
+        prompt_percentiles={
+            q: float(np.percentile(prompts, q * 100)) for q in quantiles
+        },
+        decode_percentiles={
+            q: float(np.percentile(decodes, q * 100)) for q in quantiles
+        },
+        tier_shares={
+            name: count / len(trace)
+            for name, count in tier_counts.items()
+        },
+        important_share=float(
+            np.mean([r.important for r in trace])
+        ),
+        total_prefill_tokens=int(prompts.sum()),
+        total_decode_tokens=int(decodes.sum()),
+        peak_qps=peak,
+    )

@@ -1,0 +1,161 @@
+"""Request arrival processes.
+
+The paper generates arrivals with a Poisson process at a target QPS
+(Section 4, citing Sarathi's methodology) and, for the transient
+overload study (Section 4.3), a square wave alternating between a low
+and a high rate every 15 minutes with a 2.5x peak-to-trough ratio.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ArrivalProcess(ABC):
+    """Generates monotonically increasing arrival timestamps."""
+
+    @abstractmethod
+    def generate(
+        self, rng: np.random.Generator, num_requests: int
+    ) -> np.ndarray:
+        """Return ``num_requests`` sorted arrival times (seconds)."""
+
+    @abstractmethod
+    def mean_qps(self) -> float:
+        """Long-run average arrival rate."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at a fixed rate."""
+
+    def __init__(self, qps: float) -> None:
+        if qps <= 0:
+            raise ValueError(f"qps must be positive, got {qps}")
+        self.qps = float(qps)
+
+    def generate(
+        self, rng: np.random.Generator, num_requests: int
+    ) -> np.ndarray:
+        gaps = rng.exponential(scale=1.0 / self.qps, size=num_requests)
+        return np.cumsum(gaps)
+
+    def mean_qps(self) -> float:
+        return self.qps
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Square-wave Poisson arrivals alternating low/high QPS.
+
+    Section 4.3: "Load in the system varies dynamically between low
+    (QPS:2.0) and high (QPS:5) points every 15 minutes over a total of
+    4 hours" — a compressed model of weekly diurnal variation with a
+    2.5x peak-to-trough ratio.  Implemented by thinning: the phase at
+    time t selects the instantaneous rate, and inter-arrival gaps are
+    drawn from that rate.
+    """
+
+    def __init__(
+        self,
+        low_qps: float = 2.0,
+        high_qps: float = 5.0,
+        phase_duration: float = 900.0,
+        start_high: bool = False,
+    ) -> None:
+        if low_qps <= 0 or high_qps <= 0:
+            raise ValueError("rates must be positive")
+        if phase_duration <= 0:
+            raise ValueError("phase_duration must be positive")
+        self.low_qps = float(low_qps)
+        self.high_qps = float(high_qps)
+        self.phase_duration = float(phase_duration)
+        self.start_high = bool(start_high)
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at simulated ``time``."""
+        phase = int(time // self.phase_duration) % 2
+        high = (phase == 0) if self.start_high else (phase == 1)
+        return self.high_qps if high else self.low_qps
+
+    def generate(
+        self, rng: np.random.Generator, num_requests: int
+    ) -> np.ndarray:
+        times = np.empty(num_requests, dtype=np.float64)
+        t = 0.0
+        # Thinning against the max rate gives an exact inhomogeneous
+        # Poisson process for the piecewise-constant rate function.
+        max_rate = max(self.low_qps, self.high_qps)
+        produced = 0
+        while produced < num_requests:
+            t += rng.exponential(scale=1.0 / max_rate)
+            if rng.random() <= self.rate_at(t) / max_rate:
+                times[produced] = t
+                produced += 1
+        return times
+
+    def mean_qps(self) -> float:
+        return 0.5 * (self.low_qps + self.high_qps)
+
+
+def burst_schedule(
+    base_qps: float,
+    burst_qps: float,
+    burst_start: float,
+    burst_duration: float,
+) -> "PiecewiseArrivals":
+    """A single transient burst on top of a steady base rate."""
+    return PiecewiseArrivals(
+        [
+            (0.0, base_qps),
+            (burst_start, burst_qps),
+            (burst_start + burst_duration, base_qps),
+        ]
+    )
+
+
+class PiecewiseArrivals(ArrivalProcess):
+    """Poisson arrivals with an arbitrary piecewise-constant rate.
+
+    Args:
+        segments: ``(start_time, qps)`` pairs sorted by start time; the
+            last segment's rate holds forever.
+    """
+
+    def __init__(self, segments: list[tuple[float, float]]) -> None:
+        if not segments:
+            raise ValueError("segments must be non-empty")
+        starts = [s for s, _ in segments]
+        if starts != sorted(starts):
+            raise ValueError("segments must be sorted by start time")
+        if any(q <= 0 for _, q in segments):
+            raise ValueError("rates must be positive")
+        self.segments = list(segments)
+
+    def rate_at(self, time: float) -> float:
+        rate = self.segments[0][1]
+        for start, qps in self.segments:
+            if time >= start:
+                rate = qps
+            else:
+                break
+        return rate
+
+    def generate(
+        self, rng: np.random.Generator, num_requests: int
+    ) -> np.ndarray:
+        max_rate = max(q for _, q in self.segments)
+        times = np.empty(num_requests, dtype=np.float64)
+        t = 0.0
+        produced = 0
+        while produced < num_requests:
+            t += rng.exponential(scale=1.0 / max_rate)
+            if rng.random() <= self.rate_at(t) / max_rate:
+                times[produced] = t
+                produced += 1
+        return times
+
+    def mean_qps(self) -> float:
+        # Average of segment rates weighted by duration is undefined
+        # for the open-ended final segment; report the final rate.
+        return self.segments[-1][1]

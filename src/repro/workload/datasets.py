@@ -1,0 +1,70 @@
+"""Synthetic stand-ins for the paper's evaluation datasets (Table 2).
+
+Each preset reproduces the published p50/p90 prompt and decode token
+counts.  Azure Code is prefill-dominated (median 8 decode tokens —
+autocomplete), Azure Conv is mixed, ShareGPT is decode-heavy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.distributions import LengthDistribution, LognormalLengths
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named pair of prompt/decode length distributions."""
+
+    name: str
+    prompt_lengths: LengthDistribution
+    decode_lengths: LengthDistribution
+
+    def sample(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` (prompt_tokens, decode_tokens) pairs."""
+        return (
+            self.prompt_lengths.sample(rng, n),
+            self.decode_lengths.sample(rng, n),
+        )
+
+
+# Prompts are clipped at the serving context window (8K for the
+# Table 1 models), as any production trace collected from them would
+# be; decode lengths are clipped well below that.
+_CONTEXT_WINDOW = 8192
+
+#: ShareGPT: prompt p50 1730 / p90 5696, decode p50 415 / p90 834.
+SHAREGPT = DatasetSpec(
+    name="ShareGPT",
+    prompt_lengths=LognormalLengths(
+        p50=1730, p90=5696, max_tokens=_CONTEXT_WINDOW
+    ),
+    decode_lengths=LognormalLengths(p50=415, p90=834, max_tokens=4096),
+)
+
+#: Azure Conversation: prompt 928/3830, decode 41/342.
+AZURE_CONV = DatasetSpec(
+    name="AzConv",
+    prompt_lengths=LognormalLengths(
+        p50=928, p90=3830, max_tokens=_CONTEXT_WINDOW
+    ),
+    decode_lengths=LognormalLengths(p50=41, p90=342, max_tokens=4096),
+)
+
+#: Azure Code: prompt 1930/6251, decode 8/43.
+AZURE_CODE = DatasetSpec(
+    name="AzCode",
+    prompt_lengths=LognormalLengths(
+        p50=1930, p90=6251, max_tokens=_CONTEXT_WINDOW
+    ),
+    decode_lengths=LognormalLengths(p50=8, p90=43, max_tokens=2048),
+)
+
+#: All presets keyed by name.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in (SHAREGPT, AZURE_CONV, AZURE_CODE)
+}

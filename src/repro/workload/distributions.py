@@ -1,0 +1,97 @@
+"""Token-length distributions fit to published percentiles.
+
+Table 2 of the paper reports p50 and p90 of prompt and decode token
+counts for each dataset.  A two-parameter lognormal is exactly
+identified by two percentiles, making it the natural synthetic stand-in
+for heavy-tailed LLM length distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: Standard-normal quantile of 0.9, used to invert the p90 constraint.
+_Z90 = 1.2815515655446004
+
+
+class LengthDistribution(ABC):
+    """Generates positive integer token counts."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` token counts as an int64 array (each >= 1)."""
+
+    @abstractmethod
+    def percentile(self, q: float) -> float:
+        """Analytic percentile of the underlying distribution."""
+
+
+class LognormalLengths(LengthDistribution):
+    """Lognormal token counts parameterized by (p50, p90).
+
+    Attributes:
+        p50: Target median token count.
+        p90: Target 90th-percentile token count; must exceed p50.
+        max_tokens: Hard clip to keep pathological tail samples
+            schedulable (prompts must fit in KV memory).
+    """
+
+    def __init__(self, p50: float, p90: float, max_tokens: int = 32768) -> None:
+        if p50 <= 0 or p90 <= p50:
+            raise ValueError(f"need 0 < p50 < p90, got p50={p50} p90={p90}")
+        if max_tokens < p90:
+            raise ValueError("max_tokens must be >= p90")
+        self.p50 = float(p50)
+        self.p90 = float(p90)
+        self.max_tokens = int(max_tokens)
+        self._mu = math.log(self.p50)
+        self._sigma = (math.log(self.p90) - self._mu) / _Z90
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        raw = rng.lognormal(mean=self._mu, sigma=self._sigma, size=n)
+        return np.clip(np.rint(raw), 1, self.max_tokens).astype(np.int64)
+
+    def percentile(self, q: float) -> float:
+        if not 0 < q < 1:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        z = _ppf_standard_normal(q)
+        return math.exp(self._mu + self._sigma * z)
+
+    def __repr__(self) -> str:
+        return f"LognormalLengths(p50={self.p50:g}, p90={self.p90:g})"
+
+
+def _ppf_standard_normal(q: float) -> float:
+    """Acklam's rational approximation to the standard-normal PPF.
+
+    Accurate to ~1e-9 over (0, 1); avoids a scipy dependency in the
+    core library (scipy is only used by tests for cross-checking).
+    """
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u
+                + c[5]) / ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1)
+    if q <= 1 - p_low:
+        u = q - 0.5
+        r = u * u
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+                + a[5]) * u / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                                + b[4]) * r + 1)
+    u = math.sqrt(-2.0 * math.log(1.0 - q))
+    return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u
+             + c[5]) / ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1)

@@ -1,0 +1,106 @@
+"""QoS tier assignment and workload composition (Table 3, Section 4).
+
+The paper emulates multiple applications by splitting each dataset into
+parts and assigning each part a QoS bucket: by default an equal
+33/33/33 split over Q1 (interactive chat), Q2 (video summaries) and Q3
+(email insights), with skewed 70-15-15 and 15-15-70 mixes studied in
+Section 4.4.2.  For the multi-priority overload study, 20% of requests
+in each bucket are marked low-priority via application hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.qos import DEFAULT_TIERS, QoSSpec
+
+#: Representative application names for the three tiers (Section 4).
+DEFAULT_APP_NAMES = ("chat", "video-summary", "email-insights")
+
+
+@dataclass(frozen=True)
+class TierMix:
+    """A weighted mixture of QoS tiers.
+
+    Attributes:
+        tiers: The QoS buckets.
+        weights: Request share per bucket; normalized on construction.
+        app_names: Application identifier per bucket (drives the
+            decode-length history of Section 3.4).
+    """
+
+    tiers: tuple[QoSSpec, ...] = DEFAULT_TIERS
+    weights: tuple[float, ...] = (1.0, 1.0, 1.0)
+    app_names: tuple[str, ...] = DEFAULT_APP_NAMES
+
+    def __post_init__(self) -> None:
+        if len(self.tiers) == 0:
+            raise ValueError("need at least one tier")
+        if len(self.weights) != len(self.tiers):
+            raise ValueError("weights and tiers must align")
+        if len(self.app_names) != len(self.tiers):
+            raise ValueError("app_names and tiers must align")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative, not all zero")
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=np.float64)
+        return w / w.sum()
+
+    @staticmethod
+    def equal_thirds() -> "TierMix":
+        """The paper's default 33/33/33 composition."""
+        return TierMix()
+
+    @staticmethod
+    def interactive_heavy() -> "TierMix":
+        """Section 4.4.2's 70-15-15 interactive-dominant mix."""
+        return TierMix(weights=(0.70, 0.15, 0.15))
+
+    @staticmethod
+    def batch_heavy() -> "TierMix":
+        """Section 4.4.2's 15-15-70 batch-dominant mix."""
+        return TierMix(weights=(0.15, 0.15, 0.70))
+
+
+class TierAssigner:
+    """Assigns tiers and importance hints to a stream of requests."""
+
+    def __init__(
+        self,
+        mix: TierMix | None = None,
+        low_priority_fraction: float = 0.0,
+    ) -> None:
+        """Args:
+        mix: Tier mixture; defaults to the equal-thirds preset.
+        low_priority_fraction: Share of requests *within each bucket*
+            marked as free-tier/low-priority (Section 4.3 uses 0.2).
+        """
+        if not 0.0 <= low_priority_fraction <= 1.0:
+            raise ValueError("low_priority_fraction must be in [0, 1]")
+        self.mix = mix or TierMix.equal_thirds()
+        self.low_priority_fraction = float(low_priority_fraction)
+
+    def assign(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw tier indices and importance flags for ``n`` requests.
+
+        Returns:
+            ``(tier_indices, important)`` — int64 indices into
+            ``mix.tiers`` and a boolean importance array.
+        """
+        tier_idx = rng.choice(
+            len(self.mix.tiers), size=n, p=self.mix.probabilities
+        )
+        important = rng.random(n) >= self.low_priority_fraction
+        return tier_idx.astype(np.int64), important
+
+    def tier(self, index: int) -> QoSSpec:
+        return self.mix.tiers[index]
+
+    def app_name(self, index: int) -> str:
+        return self.mix.app_names[index]

@@ -1,0 +1,187 @@
+"""Trace assembly and (de)serialization.
+
+A :class:`Trace` is an arrival-time-ordered list of
+:class:`~repro.core.request.Request` objects.  The builder composes a
+dataset's length distributions, an arrival process and a tier assigner
+into a reproducible trace; traces can be saved to and loaded from JSON
+so experiments can pin their inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.qos import QoSClass, QoSSpec
+from repro.core.request import Request
+from repro.simcore.rng import RngStreams
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workload.datasets import DatasetSpec
+from repro.workload.tiers import TierAssigner
+
+
+@dataclass
+class Trace:
+    """An immutable-by-convention sequence of requests plus provenance."""
+
+    requests: list[Request]
+    dataset_name: str = "unknown"
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> Request:
+        return self.requests[index]
+
+    @property
+    def duration(self) -> float:
+        """Span between first and last arrival (0 for empty traces)."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_time - self.requests[0].arrival_time
+
+    def fresh_copy(self) -> "Trace":
+        """Deep copy with all runtime state reset, for re-simulation."""
+        return Trace(
+            requests=[r.clone_fresh() for r in self.requests],
+            dataset_name=self.dataset_name,
+            seed=self.seed,
+        )
+
+    def scaled_arrivals(self, factor: float) -> "Trace":
+        """Copy with inter-arrival gaps divided by ``factor``.
+
+        Scaling arrivals (rather than regenerating) keeps the request
+        bodies identical across load points, which is how the paper's
+        load sweeps isolate scheduling effects from sampling noise.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        copies = []
+        for request in self.requests:
+            fresh = request.clone_fresh()
+            fresh.arrival_time = request.arrival_time / factor
+            copies.append(fresh)
+        return Trace(copies, dataset_name=self.dataset_name, seed=self.seed)
+
+    # --- persistence ----------------------------------------------------
+
+    def to_json(self, path: str | Path) -> None:
+        """Serialize the trace (static attributes only) to JSON."""
+        records = []
+        for r in self.requests:
+            records.append(
+                {
+                    "id": r.request_id,
+                    "arrival": r.arrival_time,
+                    "prompt": r.prompt_tokens,
+                    "decode": r.decode_tokens,
+                    "app": r.app_id,
+                    "important": r.important,
+                    "qos": {
+                        "name": r.qos.name,
+                        "class": r.qos.qos_class.value,
+                        "ttft": r.qos.ttft_slo,
+                        "tbt": r.qos.tbt_slo,
+                        "ttlt": r.qos.ttlt_slo,
+                    },
+                }
+            )
+        payload = {
+            "dataset": self.dataset_name,
+            "seed": self.seed,
+            "requests": records,
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def from_json(path: str | Path) -> "Trace":
+        """Load a trace previously written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        qos_cache: dict[tuple, QoSSpec] = {}
+        requests = []
+        for rec in payload["requests"]:
+            q = rec["qos"]
+            key = (q["name"], q["class"], q["ttft"], q["tbt"], q["ttlt"])
+            if key not in qos_cache:
+                qos_cache[key] = QoSSpec(
+                    name=q["name"],
+                    qos_class=QoSClass(q["class"]),
+                    ttft_slo=q["ttft"],
+                    tbt_slo=q["tbt"],
+                    ttlt_slo=q["ttlt"],
+                )
+            requests.append(
+                Request(
+                    request_id=rec["id"],
+                    arrival_time=rec["arrival"],
+                    prompt_tokens=rec["prompt"],
+                    decode_tokens=rec["decode"],
+                    qos=qos_cache[key],
+                    app_id=rec["app"],
+                    important=rec["important"],
+                )
+            )
+        return Trace(
+            requests=requests,
+            dataset_name=payload["dataset"],
+            seed=payload["seed"],
+        )
+
+
+class TraceBuilder:
+    """Composes dataset + arrivals + tiers into a reproducible trace."""
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        arrivals: ArrivalProcess | None = None,
+        tier_assigner: TierAssigner | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.arrivals = arrivals or PoissonArrivals(qps=1.0)
+        self.tier_assigner = tier_assigner or TierAssigner()
+        self.seed = int(seed)
+
+    def build(self, num_requests: int) -> Trace:
+        """Generate a trace of ``num_requests`` requests."""
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        streams = RngStreams(self.seed)
+        prompt_lengths, decode_lengths = self.dataset.sample(
+            streams.stream("lengths"), num_requests
+        )
+        arrival_times = self.arrivals.generate(
+            streams.stream("arrivals"), num_requests
+        )
+        tier_idx, important = self.tier_assigner.assign(
+            streams.stream("tiers"), num_requests
+        )
+
+        requests = []
+        for i in range(num_requests):
+            tier = self.tier_assigner.tier(int(tier_idx[i]))
+            requests.append(
+                Request(
+                    request_id=i,
+                    arrival_time=float(arrival_times[i]),
+                    prompt_tokens=int(prompt_lengths[i]),
+                    decode_tokens=int(decode_lengths[i]),
+                    qos=tier,
+                    app_id=self.tier_assigner.app_name(int(tier_idx[i])),
+                    important=bool(important[i]),
+                )
+            )
+        requests.sort(key=lambda r: r.arrival_time)
+        return Trace(
+            requests=requests,
+            dataset_name=self.dataset.name,
+            seed=self.seed,
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import SCALES, _registry, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig04"])
+        assert args.experiments == ["fig04"]
+        assert args.scale == "smoke"
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig04", "--scale", "huge"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRegistry:
+    def test_every_paper_artifact_covered(self):
+        names = set(_registry())
+        expected = {
+            "fig01", "fig02", "fig04", "fig05", "fig07", "fig08",
+            "fig09", "fig10-11", "fig12-13", "fig14", "fig15",
+            "tab04", "tab05", "tab06",
+        }
+        assert expected <= names
+
+    def test_scales(self):
+        assert set(SCALES) == {"smoke", "bench", "full"}
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out
+        assert "tab05" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_fig04(self, capsys, tmp_path):
+        out_file = tmp_path / "results.txt"
+        code = main(["run", "fig04", "--scale", "smoke",
+                     "--out", str(out_file)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "figure-04" in stdout
+        assert "figure-04" in out_file.read_text()

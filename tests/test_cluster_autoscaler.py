@@ -1,0 +1,134 @@
+"""Unit tests for the reactive autoscaler."""
+
+import pytest
+
+from repro.cluster.autoscaler import AutoscalerConfig, AutoscalingDeployment
+from repro.experiments.runner import scheduler_factory
+from repro.workload.arrivals import PoissonArrivals, burst_schedule
+from repro.workload.datasets import AZURE_CODE
+from repro.workload.tiers import TierAssigner
+from repro.workload.trace import TraceBuilder
+
+
+def build_trace(n=200, qps=2.0, seed=3, arrivals=None):
+    return TraceBuilder(
+        AZURE_CODE,
+        arrivals=arrivals or PoissonArrivals(qps),
+        tier_assigner=TierAssigner(),
+        seed=seed,
+    ).build(n)
+
+
+def make_deployment(execution_model, **config_kwargs):
+    return AutoscalingDeployment(
+        execution_model,
+        scheduler_factory("qoserve-oracle", execution_model),
+        config=AutoscalerConfig(**config_kwargs),
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=5, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_threshold=0.4,
+                             scale_down_threshold=0.5)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(control_interval=0)
+
+
+class TestScaling:
+    def test_starts_at_min(self, execution_model):
+        deployment = make_deployment(execution_model, min_replicas=2,
+                                     max_replicas=6)
+        assert deployment.active_replicas == 2
+
+    def test_completes_all_requests(self, execution_model):
+        deployment = make_deployment(execution_model, min_replicas=1,
+                                     max_replicas=4)
+        trace = build_trace(n=150, qps=3.0)
+        deployment.submit_trace(trace)
+        deployment.run_until_drained()
+        assert all(r.is_finished for r in deployment.all_requests())
+
+    def test_scales_up_under_overload(self, execution_model):
+        deployment = make_deployment(
+            execution_model, min_replicas=1, max_replicas=4,
+            control_interval=20.0, provision_delay=10.0,
+        )
+        trace = build_trace(n=500, qps=8.0)  # far beyond one replica
+        deployment.submit_trace(trace)
+        deployment.run_until_drained()
+        # The pool grew during the overload (and may have drained back
+        # down once the short trace emptied).
+        assert any(count > 1 for _, count in deployment.scaling_events)
+        assert len(deployment._slots) > 1
+
+    def test_never_exceeds_max(self, execution_model):
+        deployment = make_deployment(
+            execution_model, min_replicas=1, max_replicas=2,
+            control_interval=15.0, provision_delay=5.0,
+        )
+        trace = build_trace(n=400, qps=10.0)
+        deployment.submit_trace(trace)
+        deployment.run_until_drained()
+        assert deployment.provisioned_replicas <= 2
+
+    def test_scales_down_when_idle(self, execution_model):
+        deployment = make_deployment(
+            execution_model, min_replicas=1, max_replicas=4,
+            control_interval=20.0, provision_delay=5.0,
+        )
+        # A burst then a long quiet tail.
+        trace = build_trace(
+            n=400,
+            arrivals=burst_schedule(
+                base_qps=0.2, burst_qps=8.0, burst_start=0.0,
+                burst_duration=60.0,
+            ),
+        )
+        deployment.submit_trace(trace)
+        deployment.run_until_drained()
+        assert deployment.active_replicas < 4
+
+    def test_provision_delay_observed(self, execution_model):
+        deployment = make_deployment(
+            execution_model, min_replicas=1, max_replicas=3,
+            control_interval=10.0, provision_delay=100.0,
+        )
+        trace = build_trace(n=300, qps=8.0)
+        deployment.submit_trace(trace)
+        deployment.run(until=50.0)
+        # Not enough time has passed for any provisioned replica.
+        assert deployment.active_replicas == 1
+
+
+class TestAccounting:
+    def test_gpu_hours_positive_and_bounded(self, execution_model):
+        deployment = make_deployment(
+            execution_model, min_replicas=1, max_replicas=3,
+            control_interval=20.0, provision_delay=10.0,
+        )
+        trace = build_trace(n=200, qps=4.0)
+        deployment.submit_trace(trace)
+        end = deployment.run_until_drained()
+        hours = deployment.gpu_hours
+        assert hours > 0
+        assert hours <= 3 * end / 3600.0 + 1e-6
+
+    def test_drained_replicas_stop_costing(self, execution_model):
+        deployment = make_deployment(
+            execution_model, min_replicas=1, max_replicas=4,
+            control_interval=15.0, provision_delay=5.0,
+        )
+        trace = build_trace(
+            n=300,
+            arrivals=burst_schedule(0.1, 8.0, 0.0, 60.0),
+        )
+        deployment.submit_trace(trace)
+        deployment.run_until_drained()
+        # At the end only the min replica should still hold a GPU.
+        assert deployment.provisioned_replicas <= 2

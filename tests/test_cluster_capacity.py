@@ -1,0 +1,109 @@
+"""Unit tests for goodput search and provisioning math."""
+
+import pytest
+
+from repro.cluster.capacity import (
+    find_max_goodput,
+    replicas_needed,
+    stable_drain,
+)
+from repro.metrics.slo import ViolationReport
+from repro.metrics.summary import RunSummary
+
+
+def fake_summary(violation_pct: float, drain: float = 0.0,
+                 span: float = 600.0) -> RunSummary:
+    report = ViolationReport(
+        total_requests=100,
+        overall_pct=violation_pct,
+        short_pct=violation_pct,
+        long_pct=violation_pct,
+        important_pct=violation_pct,
+        low_priority_pct=violation_pct,
+    )
+    return RunSummary(
+        num_requests=100, finished=100, violations=report,
+        drain_time=drain, arrival_span=span,
+    )
+
+
+class TestFindMaxGoodput:
+    def test_finds_step_capacity(self):
+        def evaluate(qps):
+            return fake_summary(0.0 if qps <= 3.7 else 50.0)
+
+        result = find_max_goodput(evaluate, tolerance=0.05)
+        assert result.max_qps == pytest.approx(3.7, abs=0.06)
+        assert result.summary_at_max is not None
+
+    def test_zero_when_even_low_fails(self):
+        result = find_max_goodput(lambda qps: fake_summary(100.0))
+        assert result.max_qps == 0.0
+
+    def test_caps_at_qps_high(self):
+        result = find_max_goodput(
+            lambda qps: fake_summary(0.0), qps_high=8.0
+        )
+        assert result.max_qps == 8.0
+
+    def test_respects_violation_bar(self):
+        def evaluate(qps):
+            return fake_summary(0.5 if qps <= 2.0 else 2.0)
+
+        strict = find_max_goodput(evaluate, violation_bar_pct=0.1)
+        loose = find_max_goodput(evaluate, violation_bar_pct=3.0,
+                                 qps_high=4.0)
+        assert strict.max_qps == 0.0
+        assert loose.max_qps == 4.0
+
+    def test_evaluations_recorded(self):
+        result = find_max_goodput(lambda qps: fake_summary(0.0),
+                                  qps_high=4.0)
+        assert len(result.evaluations) >= 2
+        assert all(pct == 0.0 for _, pct in result.evaluations)
+
+    def test_extra_criterion_rejects(self):
+        def evaluate(qps):
+            # Zero violations but divergent drain above 3 QPS.
+            drain = 10.0 if qps <= 3.0 else 500.0
+            return fake_summary(0.0, drain=drain, span=600.0)
+
+        result = find_max_goodput(evaluate, tolerance=0.1)
+        assert result.max_qps == pytest.approx(3.0, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_max_goodput(lambda q: fake_summary(0.0),
+                             qps_low=2.0, qps_high=1.0)
+
+
+class TestStableDrain:
+    def test_short_drain_is_stable(self):
+        assert stable_drain(fake_summary(0.0, drain=10.0, span=600.0))
+
+    def test_long_drain_unstable(self):
+        assert not stable_drain(fake_summary(0.0, drain=400.0, span=600.0))
+
+    def test_fraction_scales_with_span(self):
+        assert stable_drain(fake_summary(0.0, drain=500.0, span=4000.0))
+
+    def test_floor_for_tiny_spans(self):
+        assert stable_drain(fake_summary(0.0, drain=20.0, span=10.0))
+
+    def test_unknown_span_passes(self):
+        assert stable_drain(fake_summary(0.0, drain=9999.0, span=0.0))
+
+
+class TestReplicasNeeded:
+    def test_exact_division(self):
+        assert replicas_needed(12.0, 4.0) == 3
+
+    def test_rounds_up(self):
+        assert replicas_needed(12.1, 4.0) == 4
+
+    def test_zero_load(self):
+        assert replicas_needed(0.0, 4.0) == 0
+
+    def test_invalid_goodput(self):
+        with pytest.raises(ValueError):
+            replicas_needed(10.0, 0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for the PolyServe capacity planner."""
+
+import pytest
+
+from repro.cluster.polyserve import PolyServePlanner
+
+
+@pytest.fixture
+def planner():
+    return PolyServePlanner({"Q1": 2.0, "Q2": 4.0}, tp_degree=1)
+
+
+class TestPlanning:
+    def test_even_mix(self, planner):
+        plan = planner.plan(40.0, {"Q1": 0.5, "Q2": 0.5})
+        assert plan.replicas_per_class == {"Q1": 10, "Q2": 5}
+        assert plan.gpus == 15
+        assert plan.per_class_load_qps == {"Q1": 20.0, "Q2": 20.0}
+
+    def test_rounding_up_per_class(self, planner):
+        # 10.1 QPS at 2.0 goodput -> 6 replicas, not 5.05.
+        plan = planner.plan(20.2, {"Q1": 0.5, "Q2": 0.5})
+        assert plan.replicas_per_class["Q1"] == 6
+
+    def test_isolation_penalty_vs_pooled(self, planner):
+        """The structural cost Figure 15b shows: per-class ceilings
+        sum to at least the pooled ceiling, often more."""
+        import math
+
+        plan = planner.plan(21.0, {"Q1": 0.5, "Q2": 0.5})
+        # A hypothetical pooled deployment at the *weighted* goodput.
+        pooled = math.ceil(
+            21.0 / (0.5 * 2.0 + 0.5 * 4.0)
+        )
+        assert plan.gpus >= pooled
+
+    def test_zero_share_class_scales_to_nothing(self, planner):
+        plan = planner.plan(10.0, {"Q1": 1.0, "Q2": 0.0})
+        assert plan.replicas_per_class["Q2"] == 0
+        assert plan.gpus == 5
+
+    def test_tp_degree_multiplies_gpus(self):
+        planner = PolyServePlanner({"Q1": 2.0}, tp_degree=4)
+        plan = planner.plan(4.0, {"Q1": 1.0})
+        assert plan.replicas_per_class["Q1"] == 2
+        assert plan.gpus == 8
+
+    def test_zero_load(self, planner):
+        plan = planner.plan(0.0, {"Q1": 0.5, "Q2": 0.5})
+        assert plan.gpus == 0
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PolyServePlanner({})
+
+    def test_rejects_bad_goodput(self):
+        with pytest.raises(ValueError):
+            PolyServePlanner({"Q1": 0.0})
+
+    def test_rejects_unknown_class(self, planner):
+        with pytest.raises(KeyError):
+            planner.plan(10.0, {"Q9": 1.0})
+
+    def test_rejects_unnormalized_shares(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(10.0, {"Q1": 0.7, "Q2": 0.7})
+
+    def test_rejects_negative_load(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(-1.0, {"Q1": 1.0})

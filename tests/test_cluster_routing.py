@@ -1,0 +1,107 @@
+"""Tests for the cluster routing strategies."""
+
+import pytest
+
+from repro.cluster.deployment import ROUTING_STRATEGIES, ClusterDeployment
+from repro.experiments.runner import build_trace, scheduler_factory
+from repro.metrics.summary import summarize_run
+from repro.workload.datasets import AZURE_CODE
+from tests.conftest import make_request
+
+
+def run_cluster(execution_model, routing, trace, replicas=3):
+    cluster = ClusterDeployment(
+        execution_model,
+        scheduler_factory("fcfs", execution_model),
+        num_replicas=replicas,
+        routing=routing,
+    )
+    cluster.submit_trace(trace)
+    cluster.run(max_events=20_000_000)
+    return cluster
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("routing", ROUTING_STRATEGIES)
+    def test_all_strategies_complete(self, execution_model, routing):
+        trace = build_trace(AZURE_CODE, qps=4.0, num_requests=90, seed=2)
+        cluster = run_cluster(execution_model, routing, trace)
+        requests = cluster.all_requests()
+        assert len(requests) == 90
+        assert all(r.is_finished for r in requests)
+
+    def test_unknown_strategy_rejected(self, execution_model):
+        with pytest.raises(ValueError):
+            ClusterDeployment(
+                execution_model,
+                scheduler_factory("fcfs", execution_model),
+                num_replicas=2,
+                routing="random-walk",
+            )
+
+    def test_round_robin_exactly_even(self, execution_model):
+        cluster = ClusterDeployment(
+            execution_model,
+            scheduler_factory("fcfs", execution_model),
+            num_replicas=3,
+            routing="round-robin",
+        )
+        for i in range(9):
+            cluster.submit(make_request(request_id=i))
+        counts = [len(r.submitted) for r in cluster.replicas]
+        assert counts == [3, 3, 3]
+
+    def test_least_loaded_avoids_busy_replica(self, execution_model):
+        """A huge request on one replica diverts later arrivals."""
+        cluster = ClusterDeployment(
+            execution_model,
+            scheduler_factory("fcfs", execution_model),
+            num_replicas=2,
+            routing="least-loaded",
+        )
+        elephant = make_request(request_id=0, arrival_time=0.0,
+                                prompt_tokens=8000, decode_tokens=500)
+        mice = [
+            make_request(request_id=1 + i, arrival_time=0.5 + 0.01 * i,
+                         prompt_tokens=100, decode_tokens=2)
+            for i in range(8)
+        ]
+        cluster.submit(elephant)
+        for m in mice:
+            cluster.submit(m)
+        cluster.run(max_events=1_000_000)
+        # Whichever replica got the elephant should have received far
+        # fewer of the mice.
+        elephant_replica = next(
+            r for r in cluster.replicas if elephant in r.submitted
+        )
+        assert len(elephant_replica.submitted) < 1 + len(mice)
+
+    def test_least_loaded_tail_no_worse_than_rr(self, execution_model):
+        """With heavy-tailed prompts, load-aware routing should not
+        lose to round-robin on overall p99."""
+        trace = build_trace(AZURE_CODE, qps=8.0, num_requests=400, seed=9)
+        rr = run_cluster(
+            execution_model, "round-robin", trace.fresh_copy()
+        )
+        ll = run_cluster(
+            execution_model, "least-loaded", trace.fresh_copy()
+        )
+        rr_p99 = summarize_run(
+            rr.all_requests(), now=rr.simulator.now
+        ).overall_percentiles[0.99]
+        ll_p99 = summarize_run(
+            ll.all_requests(), now=ll.simulator.now
+        ).overall_percentiles[0.99]
+        assert ll_p99 <= rr_p99 * 1.25
+
+    def test_power_of_two_deterministic(self, execution_model):
+        def once():
+            trace = build_trace(AZURE_CODE, qps=5.0, num_requests=60,
+                                seed=4)
+            cluster = run_cluster(
+                execution_model, "power-of-two", trace
+            )
+            return [len(r.submitted) for r in cluster.replicas]
+
+        assert once() == once()

@@ -1,0 +1,129 @@
+"""Unit tests for dynamic chunk sizing (Section 3.3)."""
+
+import pytest
+
+from repro.core.chunking import DynamicChunker
+from tests.conftest import Q1, Q2, Q3, make_request
+
+
+@pytest.fixture
+def chunker(oracle_predictor):
+    return DynamicChunker(oracle_predictor)
+
+
+def decode_request(qos=Q1, arrival=0.0, decoded=1, decode_tokens=50,
+                   prompt=500, rid=0):
+    r = make_request(
+        request_id=rid, arrival_time=arrival, prompt_tokens=prompt,
+        decode_tokens=decode_tokens, qos=qos,
+    )
+    r.prefill_done = prompt
+    r.decoded = decoded
+    return r
+
+
+class TestLatencyBudget:
+    def test_no_decodes_is_unbounded(self, chunker):
+        assert chunker.latency_budget(0.0, []) == float("inf")
+
+    def test_interactive_slack_is_next_token_headroom(self, chunker):
+        r = decode_request(decoded=1)
+        # Next token (2nd) deadline: 0 + 6 + 0.05 = 6.05.
+        assert chunker.latency_budget(6.0, [r]) == pytest.approx(0.05)
+
+    def test_accumulated_slack_grows_budget(self, chunker):
+        """A decode running ahead of its deadlines donates slack —
+        the core dynamic-chunking insight (Figure 6)."""
+        r = decode_request(decoded=1)
+        early = chunker.latency_budget(1.0, [r])   # 5.05 s of slack
+        late = chunker.latency_budget(6.0, [r])    # 0.05 s
+        assert early > late
+
+    def test_min_over_requests(self, chunker):
+        tight = decode_request(decoded=1, rid=1)
+        loose = decode_request(decoded=1, arrival=5.0, rid=2)
+        assert chunker.latency_budget(6.0, [tight, loose]) == pytest.approx(
+            0.05
+        )
+
+    def test_blown_deadline_clamped_to_floor(self, chunker):
+        r = decode_request(decoded=10)
+        # Way past all token deadlines.
+        budget = chunker.latency_budget(100.0, [r])
+        assert budget == pytest.approx(chunker.ni_pace_floor)
+
+    def test_non_interactive_paced_by_ttlt(self, chunker):
+        r = decode_request(qos=Q2, decoded=0, decode_tokens=100)
+        r.decoded = 50
+        # 600 s deadline, 550 s left, 50 tokens to go -> 11 s/token.
+        assert chunker.latency_budget(50.0, [r]) == pytest.approx(11.0)
+
+    def test_non_interactive_floor(self, chunker):
+        r = decode_request(qos=Q2, decode_tokens=50)
+        r.decoded = 1
+        budget = chunker.latency_budget(599.9, [r])
+        assert budget == pytest.approx(chunker.ni_pace_floor)
+
+
+class TestPrefillBudget:
+    def test_unconstrained_gives_max_chunk(self, chunker):
+        decision = chunker.prefill_budget(0.0, [])
+        assert decision.prefill_budget == chunker.max_chunk
+
+    def test_tight_budget_gives_small_chunk(self, chunker):
+        r = decode_request(decoded=1)
+        decision = chunker.prefill_budget(6.0, [r])
+        assert decision.prefill_budget < 512
+
+    def test_loose_budget_gives_larger_chunk(self, chunker):
+        r = decode_request(qos=Q3, decode_tokens=100)
+        r.decoded = 1
+        tight = chunker.prefill_budget(1795.0, [r]).prefill_budget
+        loose = chunker.prefill_budget(0.0, [r]).prefill_budget
+        assert loose > tight
+
+    def test_chosen_chunk_respects_budget(self, chunker, oracle_predictor):
+        r = decode_request(decoded=1, arrival=3.0)
+        decision = chunker.prefill_budget(6.0, [r])
+        if decision.prefill_budget > chunker.min_chunk:
+            assert decision.predicted_latency <= decision.latency_budget
+
+    def test_floor_granted_when_budget_too_small(self, chunker):
+        r = decode_request(decoded=1)
+        decision = chunker.prefill_budget(6.049, [r])
+        assert decision.prefill_budget == chunker.min_chunk
+
+    def test_extra_budget_caps(self, chunker):
+        decision = chunker.prefill_budget(
+            0.0, [], extra_latency_budget=0.050
+        )
+        assert decision.prefill_budget < chunker.max_chunk
+
+    def test_ignore_decode_slack_requires_extra(self, chunker):
+        with pytest.raises(ValueError):
+            chunker.prefill_budget(0.0, [], ignore_decode_slack=True)
+
+    def test_ignore_decode_slack_overrides_tight_decode(self, chunker):
+        tight = decode_request(decoded=1)
+        constrained = chunker.prefill_budget(6.0, [tight]).prefill_budget
+        medha_style = chunker.prefill_budget(
+            6.0, [tight], extra_latency_budget=0.2, ignore_decode_slack=True
+        ).prefill_budget
+        assert medha_style > constrained
+
+    def test_monotone_in_budget(self, chunker):
+        sizes = [
+            chunker.prefill_budget(
+                0.0, [], extra_latency_budget=b
+            ).prefill_budget
+            for b in (0.03, 0.06, 0.12, 0.24)
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestValidation:
+    def test_bad_chunk_bounds(self, oracle_predictor):
+        with pytest.raises(ValueError):
+            DynamicChunker(oracle_predictor, min_chunk=0)
+        with pytest.raises(ValueError):
+            DynamicChunker(oracle_predictor, min_chunk=100, max_chunk=50)

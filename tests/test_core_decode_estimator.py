@@ -1,0 +1,75 @@
+"""Unit tests for decode-length estimation."""
+
+import pytest
+
+from repro.core.decode_estimator import (
+    HistoryDecodeEstimator,
+    OracleDecodeEstimator,
+    StaticDecodeEstimator,
+)
+from tests.conftest import make_request
+
+
+class TestStaticAndOracle:
+    def test_static_returns_constant(self):
+        est = StaticDecodeEstimator(tokens=333.0)
+        assert est.estimate(make_request(decode_tokens=5)) == 333.0
+
+    def test_static_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            StaticDecodeEstimator(tokens=0)
+
+    def test_oracle_reads_ground_truth(self):
+        est = OracleDecodeEstimator()
+        assert est.estimate(make_request(decode_tokens=77)) == 77.0
+
+
+class TestHistoryEstimator:
+    def test_prior_before_enough_history(self):
+        est = HistoryDecodeEstimator(prior_tokens=256.0, min_history=5)
+        request = make_request(app_id="chat")
+        assert est.estimate(request) == 256.0
+        for _ in range(4):
+            est.observe(make_request(app_id="chat", decode_tokens=100))
+        assert est.estimate(request) == 256.0  # still below min_history
+
+    def test_mean_plus_two_sigma(self):
+        """Section 3.4: over-approximate by two standard deviations."""
+        est = HistoryDecodeEstimator(min_history=3, margin_stds=2.0)
+        for tokens in (100, 200, 300):
+            est.observe(make_request(app_id="a", decode_tokens=tokens))
+        # mean=200, sample std=100 -> estimate 400.
+        assert est.estimate(make_request(app_id="a")) == pytest.approx(400.0)
+
+    def test_constant_history_zero_std(self):
+        est = HistoryDecodeEstimator(min_history=2)
+        for _ in range(5):
+            est.observe(make_request(app_id="a", decode_tokens=50))
+        assert est.estimate(make_request(app_id="a")) == pytest.approx(50.0)
+
+    def test_per_application_isolation(self):
+        est = HistoryDecodeEstimator(min_history=1, margin_stds=0.0)
+        est.observe(make_request(app_id="short", decode_tokens=10))
+        est.observe(make_request(app_id="long", decode_tokens=1000))
+        assert est.estimate(make_request(app_id="short")) == 10.0
+        assert est.estimate(make_request(app_id="long")) == 1000.0
+
+    def test_history_size(self):
+        est = HistoryDecodeEstimator()
+        assert est.history_size("x") == 0
+        est.observe(make_request(app_id="x"))
+        assert est.history_size("x") == 1
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryDecodeEstimator(margin_stds=-1.0)
+
+    def test_estimate_overestimates_typical_request(self):
+        """With the 2-sigma margin, most requests are over-estimated —
+        the conservative direction for TTLT deadline projections."""
+        est = HistoryDecodeEstimator(min_history=5)
+        lengths = [20, 30, 40, 50, 60, 35, 45]
+        for tokens in lengths:
+            est.observe(make_request(app_id="a", decode_tokens=tokens))
+        estimate = est.estimate(make_request(app_id="a"))
+        assert estimate > sum(lengths) / len(lengths)

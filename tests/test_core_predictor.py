@@ -1,0 +1,91 @@
+"""Unit tests for batch latency predictors (Section 3.6.1)."""
+
+import pytest
+
+from repro.core.predictor import (
+    ForestBatchPredictor,
+    OracleBatchPredictor,
+    cached_forest_predictor,
+)
+from repro.forest import RandomForestRegressor
+from repro.perfmodel.execution import BatchShape, PrefillChunk
+
+
+class TestOracle:
+    def test_matches_execution_model(self, execution_model):
+        predictor = OracleBatchPredictor(execution_model)
+        shape = BatchShape([PrefillChunk(256, 512)], 8, 8 * 1024)
+        assert predictor.predict(shape) == execution_model.batch_time(shape)
+
+
+class TestForestPredictor:
+    def test_validation_error_under_10pct(self, execution_model,
+                                           forest_predictor):
+        """The paper quotes <10% error for the trained predictor."""
+        assert forest_predictor.validation_error(execution_model) < 0.10
+
+    def test_predictions_positive(self, forest_predictor):
+        shape = BatchShape([PrefillChunk(300, 1000)], 16, 16 * 2048)
+        assert forest_predictor.predict(shape) > 0
+
+    def test_conservative_bias(self, execution_model, forest_predictor):
+        """With quantile + safety factor, predictions should mostly
+        over-estimate (erring toward smaller chunks, per the paper)."""
+        over = 0
+        total = 0
+        for chunk in (96, 320, 640, 1280, 2304):
+            for decodes in (4, 24, 96):
+                shape = BatchShape(
+                    [PrefillChunk(chunk, 512)], decodes, decodes * 1024
+                )
+                truth = execution_model.batch_time(shape)
+                pred = forest_predictor.predict(shape)
+                total += 1
+                if pred >= truth:
+                    over += 1
+        assert over / total >= 0.8
+
+    def test_memo_rounding_is_conservative(self, forest_predictor):
+        """Bucketed keys round feature values up, so the memoized
+        prediction is for a batch at least as heavy."""
+        light = BatchShape([PrefillChunk(97, 100)], 3, 3 * 900)
+        heavy = BatchShape([PrefillChunk(128, 256)], 8, 3 * 16384)
+        assert forest_predictor.predict(light) <= forest_predictor.predict(
+            heavy
+        ) * forest_predictor.safety_factor + 1e-9
+
+    def test_memoization_hits(self, execution_model):
+        predictor = ForestBatchPredictor.train(
+            execution_model, n_trees=4, max_depth=6
+        )
+        shape = BatchShape([PrefillChunk(100, 100)], 2, 2 * 800)
+        first = predictor.predict(shape)
+        second = predictor.predict(shape)
+        assert first == second
+        assert len(predictor._memo) >= 1
+
+    def test_unfitted_forest_rejected(self):
+        with pytest.raises(ValueError):
+            ForestBatchPredictor(RandomForestRegressor())
+
+    def test_bad_quantile_rejected(self, forest_predictor):
+        with pytest.raises(ValueError):
+            ForestBatchPredictor(forest_predictor.forest, quantile=1.5)
+
+    def test_bad_safety_factor_rejected(self, forest_predictor):
+        with pytest.raises(ValueError):
+            ForestBatchPredictor(
+                forest_predictor.forest, safety_factor=0.0
+            )
+
+
+class TestCache:
+    def test_cached_predictor_reused(self, execution_model):
+        a = cached_forest_predictor(execution_model)
+        b = cached_forest_predictor(execution_model)
+        assert a is b
+
+    def test_cache_keyed_by_quantile(self, execution_model):
+        a = cached_forest_predictor(execution_model, quantile=0.75)
+        b = cached_forest_predictor(execution_model, quantile=0.9)
+        assert a is not b

@@ -1,0 +1,101 @@
+"""Unit tests for hybrid prioritization (Eqs. 4-5)."""
+
+import pytest
+
+from repro.core.decode_estimator import OracleDecodeEstimator
+from repro.core.priority import MS_PER_TOKEN, HybridPriority, LoadAdaptiveAlpha
+from tests.conftest import Q1, Q2, make_request
+
+
+class TestHybridScore:
+    def test_alpha_zero_is_edf(self):
+        hp = HybridPriority(alpha=0.0)
+        short = make_request(arrival_time=10.0, prompt_tokens=10, qos=Q1)
+        long = make_request(arrival_time=5.0, prompt_tokens=99999, qos=Q1)
+        # Pure EDF: earlier arrival (deadline) wins despite huge prompt.
+        assert hp.score(long) < hp.score(short)
+
+    def test_eq4_interactive_formula(self):
+        hp = HybridPriority(alpha=8 * MS_PER_TOKEN)
+        r = make_request(arrival_time=2.0, prompt_tokens=1000, qos=Q1)
+        # P = arrival + TTFT + alpha * prefill_remaining
+        assert hp.score(r) == pytest.approx(2.0 + 6.0 + 0.008 * 1000)
+
+    def test_eq4_uses_remaining_not_total(self):
+        hp = HybridPriority(alpha=8 * MS_PER_TOKEN)
+        r = make_request(prompt_tokens=1000, qos=Q1)
+        before = hp.score(r)
+        r.prefill_done = 600
+        assert hp.score(r) == pytest.approx(before - 0.008 * 600)
+
+    def test_eq5_non_interactive_includes_decode(self):
+        hp = HybridPriority(
+            alpha=8 * MS_PER_TOKEN,
+            decode_estimator=OracleDecodeEstimator(),
+        )
+        r = make_request(
+            arrival_time=0.0, prompt_tokens=100, decode_tokens=400, qos=Q2
+        )
+        assert hp.score(r) == pytest.approx(600.0 + 0.008 * (100 + 400))
+
+    def test_eq5_decode_progress_reduces_work(self):
+        hp = HybridPriority(
+            alpha=8 * MS_PER_TOKEN,
+            decode_estimator=OracleDecodeEstimator(),
+        )
+        r = make_request(prompt_tokens=100, decode_tokens=400, qos=Q2)
+        r.prefill_done = 100
+        r.decoded = 100
+        assert hp.score(r) == pytest.approx(600.0 + 0.008 * 300)
+
+    def test_no_estimator_ignores_decode(self):
+        hp = HybridPriority(alpha=8 * MS_PER_TOKEN)
+        r = make_request(prompt_tokens=100, decode_tokens=9999, qos=Q2)
+        assert hp.score(r) == pytest.approx(600.0 + 0.008 * 100)
+
+    def test_large_alpha_prefers_short_jobs(self):
+        hp = HybridPriority(alpha=50 * MS_PER_TOKEN)
+        short = make_request(arrival_time=10.0, prompt_tokens=100, qos=Q1)
+        long = make_request(arrival_time=0.0, prompt_tokens=8000, qos=Q1)
+        assert hp.score(short) < hp.score(long)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            HybridPriority(alpha=-1.0)
+
+
+class TestLoadAdaptiveAlpha:
+    def test_low_pressure_gives_alpha_low(self):
+        adaptive = LoadAdaptiveAlpha()
+        for _ in range(50):
+            adaptive.update(0.0)
+        assert adaptive.alpha == pytest.approx(1 * MS_PER_TOKEN)
+
+    def test_high_pressure_gives_alpha_high(self):
+        adaptive = LoadAdaptiveAlpha()
+        for _ in range(200):
+            adaptive.update(10.0)
+        assert adaptive.alpha == pytest.approx(8 * MS_PER_TOKEN)
+
+    def test_interpolates_between(self):
+        adaptive = LoadAdaptiveAlpha(
+            pressure_low=0.0, pressure_high=2.0, smoothing=1.0
+        )
+        adaptive.update(1.0)
+        expected = 0.5 * (1 + 8) * MS_PER_TOKEN
+        assert adaptive.alpha == pytest.approx(expected)
+
+    def test_smoothing_damps_spikes(self):
+        adaptive = LoadAdaptiveAlpha(smoothing=0.1)
+        adaptive.update(100.0)
+        assert adaptive.pressure == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadAdaptiveAlpha(alpha_low=2.0, alpha_high=1.0)
+        with pytest.raises(ValueError):
+            LoadAdaptiveAlpha(pressure_low=2.0, pressure_high=1.0)
+        with pytest.raises(ValueError):
+            LoadAdaptiveAlpha(smoothing=0.0)
+        with pytest.raises(ValueError):
+            LoadAdaptiveAlpha().update(-1.0)

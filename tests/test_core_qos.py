@@ -1,0 +1,86 @@
+"""Unit tests for QoS classes and deadline arithmetic (Eqs. 1-3)."""
+
+import pytest
+
+from repro.core.qos import (
+    DEFAULT_TIERS,
+    Q1_INTERACTIVE,
+    Q2_RELAXED,
+    Q3_BATCH,
+    QoSClass,
+    QoSSpec,
+)
+
+
+class TestTable3Presets:
+    def test_q1_is_interactive(self):
+        assert Q1_INTERACTIVE.is_interactive
+        assert Q1_INTERACTIVE.ttft_slo == 6.0
+        assert Q1_INTERACTIVE.tbt_slo == 0.050
+
+    def test_q2_q3_non_interactive(self):
+        assert not Q2_RELAXED.is_interactive
+        assert not Q3_BATCH.is_interactive
+        assert Q2_RELAXED.ttlt_slo == 600.0
+        assert Q3_BATCH.ttlt_slo == 1800.0
+
+    def test_default_tiers_order(self):
+        assert tuple(t.name for t in DEFAULT_TIERS) == ("Q1", "Q2", "Q3")
+
+
+class TestDeadlines:
+    def test_eq1_first_token_deadline(self):
+        # D_first = t_arrival + SLO_TTFT
+        assert Q1_INTERACTIVE.first_token_deadline(10.0) == 16.0
+
+    def test_eq2_token_deadlines(self):
+        # D_n = t_arrival + SLO_TTFT + (n-1) * SLO_TBT
+        assert Q1_INTERACTIVE.token_deadline(10.0, 1) == 16.0
+        assert Q1_INTERACTIVE.token_deadline(10.0, 2) == pytest.approx(16.05)
+        assert Q1_INTERACTIVE.token_deadline(10.0, 11) == pytest.approx(16.5)
+
+    def test_eq3_total_deadline(self):
+        # D_total = t_arrival + SLO_TTLT, independent of token count
+        assert Q2_RELAXED.token_deadline(10.0, 1) == 610.0
+        assert Q2_RELAXED.token_deadline(10.0, 500) == 610.0
+        assert Q2_RELAXED.total_deadline(10.0, 500) == 610.0
+
+    def test_non_interactive_first_token_is_ttlt(self):
+        assert Q3_BATCH.first_token_deadline(0.0) == 1800.0
+
+    def test_interactive_total_deadline_uses_token_count(self):
+        d = Q1_INTERACTIVE.total_deadline(0.0, 100)
+        assert d == pytest.approx(6.0 + 99 * 0.050)
+
+    def test_token_index_one_based(self):
+        with pytest.raises(ValueError):
+            Q1_INTERACTIVE.token_deadline(0.0, 0)
+
+
+class TestValidation:
+    def test_interactive_requires_ttft_and_tbt(self):
+        with pytest.raises(ValueError):
+            QoSSpec("bad", QoSClass.INTERACTIVE, ttft_slo=1.0)
+        with pytest.raises(ValueError):
+            QoSSpec("bad", QoSClass.INTERACTIVE, tbt_slo=0.05)
+
+    def test_non_interactive_requires_ttlt(self):
+        with pytest.raises(ValueError):
+            QoSSpec("bad", QoSClass.NON_INTERACTIVE)
+
+    def test_positive_slos(self):
+        with pytest.raises(ValueError):
+            QoSSpec("bad", QoSClass.INTERACTIVE, ttft_slo=0.0, tbt_slo=0.05)
+        with pytest.raises(ValueError):
+            QoSSpec("bad", QoSClass.NON_INTERACTIVE, ttlt_slo=-5.0)
+
+    def test_custom_slos_within_class(self):
+        """Section 3.2: applications specify custom targets per class."""
+        fast = QoSSpec(
+            "fast-chat", QoSClass.INTERACTIVE, ttft_slo=3.0, tbt_slo=0.02
+        )
+        assert fast.first_token_deadline(1.0) == 4.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Q1_INTERACTIVE.ttft_slo = 1.0

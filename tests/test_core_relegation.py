@@ -1,0 +1,139 @@
+"""Unit tests for the violation checker and eager relegation."""
+
+import pytest
+
+from repro.core.decode_estimator import OracleDecodeEstimator
+from repro.core.relegation import RelegationPolicy, ViolationChecker
+from tests.conftest import Q1, Q2, make_request
+
+
+@pytest.fixture
+def checker():
+    # 1 ms per prefill token, 30 ms per decode token: round numbers.
+    return ViolationChecker(
+        seconds_per_prefill_token=1e-3,
+        seconds_per_decode_token=30e-3,
+        decode_estimator=OracleDecodeEstimator(),
+    )
+
+
+@pytest.fixture
+def policy(checker):
+    return RelegationPolicy(checker, use_hints=True)
+
+
+class TestViolationChecker:
+    def test_prefill_service_time(self, checker):
+        r = make_request(prompt_tokens=2000)
+        assert checker.prefill_service_time(r) == pytest.approx(2.0)
+        r.prefill_done = 1000
+        assert checker.prefill_service_time(r) == pytest.approx(1.0)
+
+    def test_decode_service_time(self, checker):
+        r = make_request(decode_tokens=100)
+        assert checker.decode_service_time(r) == pytest.approx(3.0)
+
+    def test_interactive_slack(self, checker):
+        r = make_request(prompt_tokens=2000, qos=Q1)
+        # deadline 6.0, at t=1: 5 s left minus 2 s service = 3 s slack.
+        assert checker.deadline_slack(r, 1.0) == pytest.approx(3.0)
+
+    def test_non_interactive_slack_includes_decode(self, checker):
+        r = make_request(prompt_tokens=1000, decode_tokens=100, qos=Q2)
+        # 600 - 0 - (1.0 + 3.0) = 596.
+        assert checker.deadline_slack(r, 0.0) == pytest.approx(596.0)
+
+    def test_will_violate_with_queue_delay(self, checker):
+        r = make_request(prompt_tokens=2000, qos=Q1)
+        assert not checker.will_violate(r, 1.0, queue_delay=2.9)
+        assert checker.will_violate(r, 1.0, queue_delay=3.1)
+
+    def test_hopeless_request_negative_slack(self, checker):
+        r = make_request(prompt_tokens=2000, qos=Q1)
+        assert checker.deadline_slack(r, 5.0) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViolationChecker(seconds_per_prefill_token=0.0)
+
+
+def queued(rid, prompt=1000, qos=Q1, arrival=0.0, important=True):
+    return make_request(
+        request_id=rid, arrival_time=arrival, prompt_tokens=prompt,
+        qos=qos, important=important,
+    )
+
+
+class TestRelegationPolicy:
+    def test_feasible_queue_untouched(self, policy):
+        queue = [queued(i) for i in range(3)]
+        plan = policy.plan(queue, now=0.0)
+        assert plan.to_relegate == []
+        assert plan.scanned == 3
+
+    def test_hopeless_important_request_relegated(self, policy):
+        # 7 s of service against a 6 s TTFT deadline: unreachable.
+        queue = [queued(0, prompt=7000)]
+        plan = policy.plan(queue, now=0.0)
+        assert plan.to_relegate == queue
+
+    def test_low_priority_victim_saves_important(self, policy):
+        # Two 3-second jobs ahead of an important one whose slack is
+        # 2 s: without a demotion the third misses its deadline.
+        free = queued(0, prompt=3000, important=False)
+        free2 = queued(1, prompt=3000, important=False)
+        vip = queued(2, prompt=4000, important=True)
+        plan = policy.plan([free, free2, vip], now=0.0)
+        relegated_ids = {r.request_id for r in plan.to_relegate}
+        assert relegated_ids & {0, 1}
+        assert 2 not in relegated_ids
+        assert plan.important_saved == 1
+
+    def test_important_never_sacrificed_for_low_priority(self, policy):
+        vip = queued(0, prompt=3000, important=True)
+        free = queued(1, prompt=4000, important=False)
+        # free misses (3 s queue + 4 s service > 6 s): it is demoted,
+        # the important one ahead of it is not.
+        plan = policy.plan([vip, free], now=0.0)
+        assert [r.request_id for r in plan.to_relegate] == [1]
+
+    def test_no_hints_mode_keeps_low_priority(self, checker):
+        policy = RelegationPolicy(checker, use_hints=False)
+        free = queued(0, prompt=3000, important=False)
+        free2 = queued(1, prompt=3000, important=False)
+        vip = queued(2, prompt=4000, important=True)
+        plan = policy.plan([free, free2, vip], now=0.0)
+        # Without hints nobody is pre-emptively demoted; only requests
+        # whose own deadline is unreachable are, and none is here.
+        assert plan.to_relegate == []
+
+    def test_minimal_victim_set(self, policy):
+        """Only as many low-priority requests as needed are demoted."""
+        frees = [queued(i, prompt=1000, important=False) for i in range(4)]
+        vip = queued(9, prompt=2500, important=True)
+        # Queue delay 4 s + 2.5 s service > 6 s: needs ~0.5 s freed,
+        # i.e. a single 1-second victim suffices.
+        plan = policy.plan(frees + [vip], now=0.0)
+        assert len(plan.to_relegate) == 1
+        assert not plan.to_relegate[0].important
+
+    def test_largest_victims_first(self, policy):
+        small = queued(0, prompt=500, important=False)
+        big = queued(1, prompt=3000, important=False)
+        vip = queued(2, prompt=3000, important=True)
+        plan = policy.plan([small, big, vip], now=0.0)
+        assert [r.request_id for r in plan.to_relegate] == [1]
+
+    def test_max_scan_bounds_work(self, checker):
+        policy = RelegationPolicy(checker, max_scan=5)
+        queue = [queued(i, prompt=7000) for i in range(20)]
+        plan = policy.plan(queue, now=0.0)
+        assert plan.scanned == 5
+
+    def test_non_interactive_uses_ttlt(self, policy):
+        # 300 s of queue ahead; a Q2 job with 600 s TTLT still fits.
+        blocker = queued(0, prompt=4000, qos=Q2)
+        blocker.prefill_done = 0
+        ni = queued(1, prompt=2000, qos=Q2)
+        plan = policy.plan([blocker, ni], now=0.0)
+        assert plan.to_relegate == []

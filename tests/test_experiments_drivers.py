@@ -1,0 +1,124 @@
+"""Smoke and shape tests for the experiment drivers at tiny scale.
+
+These are not re-runs of the benchmark assertions: they validate the
+drivers' mechanics — row schemas, views, window selection, synthetic
+trace construction — cheaply enough for the unit suite.
+"""
+
+import pytest
+
+from repro.experiments.configs import Scale
+from repro.experiments import (
+    ablation_extras,
+    ext_qos_decode,
+    fig04_chunk_tradeoff,
+    fig09_chunk_trace,
+    fig10_11_load_sweep,
+    fig12_13_transient,
+    fig15_concurrent_work,
+    tab04_cluster_scale,
+)
+
+TINY = Scale(num_requests=120, min_duration_s=40.0, seed=7, label="tiny")
+
+
+class TestFig04:
+    def test_rows_and_columns(self):
+        result = fig04_chunk_tradeoff.run(TINY, chunks=(128, 512, 2048))
+        assert [r["chunk_size"] for r in result.rows] == [128, 512, 2048]
+        assert all(r["throughput_tokens_per_s"] > 0 for r in result.rows)
+
+    def test_other_deployments(self):
+        result = fig04_chunk_tradeoff.run(
+            TINY, chunks=(256, 2048), deployment="llama3-70b"
+        )
+        assert len(result.rows) == 2
+
+
+class TestFig09:
+    def test_window_prefers_chunk_dynamics(self):
+        result = fig09_chunk_trace.run(TINY, qps=2.0, window=50)
+        chunks = [r["chunk_size"] for r in result.rows]
+        assert chunks  # a window was selected
+        assert any(c > 0 for c in chunks)
+
+    def test_record_fields(self):
+        result = fig09_chunk_trace.run(TINY, qps=2.0, window=30)
+        row = result.rows[0]
+        assert {"batch_id", "chunk_size", "exec_time_ms",
+                "num_decodes"} <= set(row)
+
+
+class TestFig10Views:
+    def test_views_project_columns(self):
+        combined = fig10_11_load_sweep.run(
+            TINY, schemes=("fcfs",), loads=(2.0,)
+        )
+        fig10 = fig10_11_load_sweep.figure10_view(combined)
+        fig11 = fig10_11_load_sweep.figure11_view(combined)
+        assert "q1_p95_s" in fig10.rows[0]
+        assert "viol_long_pct" in fig11.rows[0]
+        assert "viol_long_pct" not in fig10.rows[0]
+        assert "q1_p95_s" not in fig11.rows[0]
+
+
+class TestTransient:
+    def test_diurnal_trace_has_cycles(self):
+        trace = fig12_13_transient.build_diurnal_trace(TINY)
+        assert len(trace) == TINY.requests_for(3.5)
+        low_priority = sum(1 for r in trace if not r.important)
+        assert 0.1 < low_priority / len(trace) < 0.3
+
+
+class TestFig15:
+    def test_synthetic_trace_uniform(self):
+        trace = fig15_concurrent_work.synthetic_trace(10, qps=0.5)
+        assert all(r.prompt_tokens == 10_000 for r in trace)
+        assert all(r.decode_tokens == 500 for r in trace)
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+
+
+class TestTab04:
+    def test_silo_allocation_positive(self, execution_model):
+        replicas, goodputs = tab04_cluster_scale.silo_allocation(
+            execution_model, TINY, per_tier_qps=2.0
+        )
+        assert set(replicas) == {"Q1", "Q2", "Q3"}
+        assert all(v >= 1 for v in replicas.values())
+        # The strict tier needs more replicas per QPS than the
+        # throughput tiers (small chunk + TTFT bound).
+        assert goodputs["Q1"] <= goodputs["Q2"]
+
+
+class TestExtDecode:
+    def test_prefilled_trace_ready_for_decode(self):
+        requests = ext_qos_decode.prefilled_trace(30, qps=2.0, seed=1)
+        assert all(r.remaining_prefill == 0 for r in requests)
+        tiers = {r.qos.name for r in requests}
+        assert tiers <= {"QA", "QB"}
+
+    def test_make_pool_modes(self, execution_model):
+        from repro.simcore import Simulator
+
+        for mode in ("strict-shared", "partitioned", "qos-shared"):
+            pool = ext_qos_decode.make_pool(
+                mode, Simulator(), execution_model, 2
+            )
+            assert hasattr(pool, "accept")
+        with pytest.raises(KeyError):
+            ext_qos_decode.make_pool(
+                "bogus", Simulator(), execution_model, 2
+            )
+
+
+class TestAblationExtras:
+    def test_preemption_rows(self):
+        result = ablation_extras.run_preemption_ablation(TINY, qps=2.5)
+        assert {r["selective_preemption"] for r in result.rows} == {
+            "on", "off"
+        }
+
+    def test_estimator_rows(self):
+        result = ablation_extras.run_estimator_ablation(TINY, qps=2.5)
+        assert len(result.rows) == 3

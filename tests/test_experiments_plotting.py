@@ -1,0 +1,101 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_line_chart, plot_result
+from repro.experiments.result import ExperimentResult
+
+
+def sample_result():
+    result = ExperimentResult("fig-x", "demo")
+    for scheme in ("A-scheme", "B-scheme"):
+        for qps in (1.0, 2.0, 3.0):
+            result.rows.append(
+                {
+                    "scheme": scheme,
+                    "qps": qps,
+                    "viol": qps * (10.0 if scheme == "A-scheme" else 1.0),
+                }
+            )
+    return result
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        chart = ascii_line_chart(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            title="t",
+        )
+        assert "legend: A=up  B=down" in chart
+        assert "A" in chart and "B" in chart
+
+    def test_extremes_on_edges(self):
+        chart = ascii_line_chart(
+            {"s": [(0, 0), (10, 100)]}, width=20, height=5
+        )
+        lines = chart.splitlines()
+        assert lines[0].strip().startswith("100")
+        # Max point lands in the top row, min in the bottom row.
+        assert "A" in lines[0]
+        assert "A" in lines[4]
+
+    def test_log_scale(self):
+        chart = ascii_line_chart(
+            {"s": [(0, 1), (1, 10), (2, 100)]}, height=9, log_y=True
+        )
+        assert "(log-scale y)" in chart
+        # On a log axis the three decades are evenly spaced: the mid
+        # point sits in the middle row.
+        lines = chart.splitlines()
+        rows_with_marker = [
+            i for i, line in enumerate(lines) if "A" in line
+            and "|" in line
+        ]
+        assert len(rows_with_marker) == 3
+        gaps = [b - a for a, b in zip(rows_with_marker,
+                                      rows_with_marker[1:])]
+        assert gaps[0] == gaps[1]
+
+    def test_empty_data(self):
+        assert "(no finite data)" in ascii_line_chart({}, title="x")
+
+    def test_non_finite_filtered(self):
+        chart = ascii_line_chart(
+            {"s": [(0, 1), (1, float("inf")), (2, 3)]}
+        )
+        assert "3.0" in chart
+
+    def test_constant_series(self):
+        chart = ascii_line_chart({"s": [(0, 5), (1, 5)]})
+        assert "5.0" in chart
+
+
+class TestPlotResult:
+    def test_auto_axes(self):
+        chart = plot_result(sample_result(), "viol")
+        assert "viol vs qps" in chart
+        assert "A-scheme" in chart and "B-scheme" in chart
+
+    def test_explicit_axes(self):
+        chart = plot_result(
+            sample_result(), "viol", x="qps", group_by="scheme"
+        )
+        assert "legend:" in chart
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError):
+            plot_result(sample_result(), "nope")
+
+    def test_missing_x(self):
+        with pytest.raises(KeyError):
+            plot_result(sample_result(), "viol", x="nope")
+
+    def test_no_rows(self):
+        empty = ExperimentResult("e", "t")
+        assert "no rows" in plot_result(empty, "anything")
+
+    def test_no_group_column(self):
+        result = ExperimentResult("e", "t")
+        result.rows = [{"x": 1.0, "y": 2.0}, {"x": 2.0, "y": 3.0}]
+        chart = plot_result(result, "y")
+        assert "A=all" in chart

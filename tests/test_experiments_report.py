@@ -1,0 +1,64 @@
+"""Unit tests for the reproduction-report generator."""
+
+from repro.experiments.configs import Scale
+from repro.experiments.report import generate_report, write_report
+from repro.experiments.result import ExperimentResult
+
+TINY = Scale(num_requests=60, min_duration_s=20.0, seed=1, label="tiny")
+
+
+def fake_registry():
+    def run_ok(scale):
+        result = ExperimentResult("fake-fig", "demo rows")
+        result.rows = [
+            {"scheme": "A", "qps": 1.0, "metric": 2.0},
+            {"scheme": "A", "qps": 2.0, "metric": 4.0},
+        ]
+        return [result]
+
+    return {"fake": ("a fake experiment", run_ok)}
+
+
+class TestGenerateReport:
+    def test_contains_tables_and_chart(self):
+        text = generate_report(
+            fake_registry(), TINY,
+            sections=(("fake", "metric"),), scale_label="tiny",
+        )
+        assert "# QoServe reproduction report" in text
+        assert "fake-fig" in text
+        assert "metric vs qps" in text  # the chart header
+
+    def test_chart_skipped_for_missing_column(self):
+        text = generate_report(
+            fake_registry(), TINY,
+            sections=(("fake", "nonexistent"),),
+        )
+        assert "fake-fig" in text
+        assert "nonexistent vs" not in text
+
+    def test_unknown_section_noted(self):
+        text = generate_report(
+            fake_registry(), TINY, sections=(("bogus", None),)
+        )
+        assert "unknown experiment" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            fake_registry(), TINY, tmp_path / "r.md",
+            sections=(("fake", None),),
+        )
+        assert path.read_text().startswith("# QoServe")
+
+
+class TestRealRegistryIntegration:
+    def test_fig04_section_end_to_end(self):
+        from repro.cli import _registry
+
+        text = generate_report(
+            _registry(), TINY,
+            sections=(("fig04", "throughput_tokens_per_s"),),
+            scale_label="tiny",
+        )
+        assert "figure-04" in text
+        assert "chunk_size" in text

@@ -1,0 +1,58 @@
+"""Unit tests for experiment result tables."""
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(experiment="fig-x", title="demo")
+    r.rows = [
+        {"scheme": "A", "qps": 2.0, "viol": 0.0},
+        {"scheme": "B", "qps": 2.0, "viol": 12.5},
+        {"scheme": "A", "qps": 4.0, "viol": 3.0},
+    ]
+    return r
+
+
+class TestExperimentResult:
+    def test_columns_preserve_order(self, result):
+        assert result.columns() == ["scheme", "qps", "viol"]
+
+    def test_columns_union_across_rows(self):
+        r = ExperimentResult("x", "t")
+        r.rows = [{"a": 1}, {"b": 2}]
+        assert r.columns() == ["a", "b"]
+
+    def test_column_extraction(self, result):
+        assert result.column("scheme") == ["A", "B", "A"]
+        assert result.column("missing") == [None, None, None]
+
+    def test_row_by(self, result):
+        row = result.row_by(scheme="A", qps=4.0)
+        assert row["viol"] == 3.0
+
+    def test_row_by_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row_by(scheme="Z")
+
+    def test_render_contains_data(self, result):
+        text = result.render()
+        assert "fig-x" in text
+        assert "scheme" in text
+        assert "12.5" in text
+
+    def test_render_notes(self):
+        r = ExperimentResult("x", "t", notes=["caveat here"])
+        assert "note: caveat here" in r.render()
+
+    def test_render_formats_nan_and_inf(self):
+        r = ExperimentResult("x", "t")
+        r.rows = [{"v": float("nan"), "w": float("inf")}]
+        text = r.render()
+        assert "-" in text
+        assert "inf" in text
+
+    def test_render_empty(self):
+        assert "x" in ExperimentResult("x", "t").render()

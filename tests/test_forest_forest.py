@@ -1,0 +1,84 @@
+"""Unit tests for the bagged random forest."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor
+
+
+def make_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 4, size=(n, 2))
+    y = x[:, 0] ** 2 + 3.0 * x[:, 1] + rng.normal(0, 0.1, n)
+    return x, y
+
+
+class TestForest:
+    def test_fit_predict_reasonable(self):
+        x, y = make_data()
+        forest = RandomForestRegressor(n_trees=10, seed=1).fit(x, y)
+        preds = forest.predict(x)
+        rel_err = np.mean(np.abs(preds - y) / np.maximum(np.abs(y), 1e-9))
+        assert rel_err < 0.15
+
+    def test_deterministic_given_seed(self):
+        x, y = make_data()
+        a = RandomForestRegressor(n_trees=5, seed=7).fit(x, y).predict(x[:5])
+        b = RandomForestRegressor(n_trees=5, seed=7).fit(x, y).predict(x[:5])
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        x, y = make_data()
+        a = RandomForestRegressor(n_trees=5, seed=1).fit(x, y).predict(x[:5])
+        b = RandomForestRegressor(n_trees=5, seed=2).fit(x, y).predict(x[:5])
+        assert not np.allclose(a, b)
+
+    def test_quantile_ordering(self):
+        """Higher quantiles give weakly larger predictions."""
+        x, y = make_data()
+        forest = RandomForestRegressor(n_trees=15, seed=3).fit(x, y)
+        point = x[0]
+        low = forest.predict_one(point, quantile=0.1)
+        mid = forest.predict_one(point, quantile=0.5)
+        high = forest.predict_one(point, quantile=0.9)
+        assert low <= mid <= high
+
+    def test_quantile_1_is_max_vote(self):
+        x, y = make_data()
+        forest = RandomForestRegressor(n_trees=8, seed=4).fit(x, y)
+        point = x[0]
+        votes = [t.predict_one(point) for t in forest._trees]
+        assert forest.predict_one(point, quantile=1.0) == pytest.approx(
+            max(votes)
+        )
+
+    def test_mean_relative_error(self):
+        x, y = make_data()
+        forest = RandomForestRegressor(n_trees=10, seed=5).fit(x, y)
+        err = forest.mean_relative_error(x, y)
+        assert 0.0 <= err < 0.2
+
+
+class TestValidation:
+    def test_rejects_zero_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((3, 2)), np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict_one([1.0, 2.0])
+
+    def test_is_fitted_flag(self):
+        x, y = make_data(50)
+        forest = RandomForestRegressor(n_trees=2)
+        assert not forest.is_fitted
+        forest.fit(x, y)
+        assert forest.is_fitted

@@ -1,0 +1,90 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.forest import DecisionTreeRegressor
+
+
+def make_step_data(n=200, seed=0):
+    """A noiseless step function a depth-1 tree can fit exactly."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 1))
+    y = np.where(x[:, 0] > 0.5, 2.0, -1.0)
+    return x, y
+
+
+class TestFitting:
+    def test_fits_step_function_exactly(self):
+        x, y = make_step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        preds = tree.predict(x)
+        assert np.allclose(preds, y)
+
+    def test_constant_target_single_leaf(self):
+        x = np.arange(10, dtype=float)[:, None]
+        y = np.full(10, 3.5)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.node_count == 1
+        assert tree.predict_one([123.0]) == pytest.approx(3.5)
+
+    def test_max_depth_zero_is_mean(self):
+        x, y = make_step_data()
+        tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+        assert tree.predict_one([0.1]) == pytest.approx(float(y.mean()))
+
+    def test_min_samples_leaf_respected(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        tree = DecisionTreeRegressor(min_samples_leaf=3).fit(x, y)
+        # A 2/2 split violates the 3-sample minimum; no split happens.
+        assert tree.node_count == 1
+
+    def test_multifeature_picks_informative_feature(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(300, 3))
+        y = np.where(x[:, 2] > 0.3, 5.0, 1.0)  # only feature 2 matters
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+    def test_piecewise_linear_approximation_improves_with_depth(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(500, 1))
+        y = 3.0 * x[:, 0]
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        err_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert err_deep < err_shallow
+
+
+class TestValidation:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict_one([1.0])
+
+
+class TestPrediction:
+    def test_predict_batch_matches_predict_one(self):
+        x, y = make_step_data()
+        tree = DecisionTreeRegressor().fit(x, y)
+        batch = tree.predict(x[:10])
+        singles = [tree.predict_one(row) for row in x[:10]]
+        assert np.allclose(batch, singles)
+
+    def test_predict_1d_input(self):
+        x, y = make_step_data()
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.predict(np.array([0.9])).shape == (1,)

@@ -1,0 +1,94 @@
+"""Edge-case coverage for the metrics layer."""
+
+import math
+
+import pytest
+
+from repro.metrics.latency import latency_percentiles, rolling_percentile
+from repro.metrics.slo import violation_report
+from repro.metrics.summary import summarize_run
+from tests.conftest import Q1, Q2, make_request
+
+
+def served(rid, arrival=0.0, ttft=1.0, qos=Q1, decode_tokens=2,
+           important=True, prompt=500):
+    r = make_request(request_id=rid, arrival_time=arrival,
+                     prompt_tokens=prompt, decode_tokens=decode_tokens,
+                     qos=qos, important=important)
+    r.scheduled_first_time = arrival + ttft / 2
+    r.prefill_done = prompt
+    for i in range(decode_tokens):
+        r.record_output_token(arrival + ttft + 0.02 * i)
+    return r
+
+
+class TestPercentileEdges:
+    def test_single_request(self):
+        pcts = latency_percentiles([served(1, ttft=2.0)], (0.5, 0.99))
+        assert pcts[0.5] == pytest.approx(2.0)
+        assert pcts[0.99] == pytest.approx(2.0)
+
+    def test_quantile_zero(self):
+        requests = [served(i, ttft=float(i + 1)) for i in range(4)]
+        pcts = latency_percentiles(requests, (0.0,))
+        assert pcts[0.0] == pytest.approx(1.0)
+
+    def test_rolling_with_step_smaller_than_window(self):
+        requests = [served(i, arrival=float(i), ttft=1.0)
+                    for i in range(60)]
+        import numpy as np
+
+        centers, series = rolling_percentile(
+            requests, 0.9, window=20.0, step=5.0
+        )
+        assert len(centers) > 8
+        finite = series[~np.isnan(series)]
+        assert np.allclose(finite, 1.0)
+
+
+class TestViolationEdges:
+    def test_all_same_prompt_length_split(self):
+        """With identical prompts, the 'long' bucket is everyone at
+        the threshold — the split must not crash or NaN."""
+        requests = [served(i, prompt=1000) for i in range(10)]
+        report = violation_report(requests)
+        assert not math.isnan(report.long_pct)
+        assert report.long_threshold == 1000
+
+    def test_all_low_priority(self):
+        requests = [served(i, important=False) for i in range(5)]
+        report = violation_report(requests)
+        assert math.isnan(report.important_pct)
+        assert report.low_priority_pct == 0.0
+
+    def test_single_tier_only(self):
+        requests = [served(i, qos=Q2, ttft=10.0) for i in range(5)]
+        report = violation_report(requests)
+        assert set(report.per_tier_pct) == {"Q2"}
+
+    def test_now_before_everything(self):
+        pending = [make_request(request_id=i, arrival_time=100.0)
+                   for i in range(3)]
+        report = violation_report(pending, now=50.0)
+        assert report.total_requests == 0
+
+
+class TestTrendEdges:
+    def test_trend_zero_for_tiny_runs(self):
+        summary = summarize_run([served(1)])
+        assert summary.queue_delay_trend == 0.0
+
+    def test_trend_positive_when_latency_ramps(self):
+        requests = [
+            served(i, arrival=float(i), ttft=1.0 + i * 0.5)
+            for i in range(40)
+        ]
+        summary = summarize_run(requests)
+        assert summary.queue_delay_trend > 5.0
+
+    def test_trend_flat_in_steady_state(self):
+        requests = [
+            served(i, arrival=float(i), ttft=2.0) for i in range(40)
+        ]
+        summary = summarize_run(requests)
+        assert abs(summary.queue_delay_trend) < 0.5

@@ -1,0 +1,84 @@
+"""Unit tests for CSV/JSON export."""
+
+import csv
+import json
+import math
+
+from repro.experiments.result import ExperimentResult
+from repro.metrics.export import (
+    load_result_json,
+    result_to_csv,
+    result_to_json,
+    summary_to_dict,
+    summary_to_json,
+)
+from repro.metrics.summary import summarize_run
+from tests.conftest import Q1, make_request
+
+
+def sample_result():
+    result = ExperimentResult("fig-x", "demo", notes=["n1"])
+    result.rows = [
+        {"scheme": "A", "qps": 2.0, "viol": 0.5},
+        {"scheme": "B", "qps": 2.0, "viol": float("nan")},
+    ]
+    return result
+
+
+def sample_summary():
+    r = make_request(prompt_tokens=10, decode_tokens=2, qos=Q1)
+    r.prefill_done = 10
+    r.record_output_token(1.0)
+    r.record_output_token(1.03)
+    return summarize_run([r])
+
+
+class TestCsv:
+    def test_round_trip_columns(self, tmp_path):
+        path = tmp_path / "r.csv"
+        result_to_csv(sample_result(), path)
+        with path.open() as source:
+            rows = list(csv.DictReader(source))
+        assert rows[0]["scheme"] == "A"
+        assert float(rows[0]["viol"]) == 0.5
+        assert len(rows) == 2
+
+
+class TestJson:
+    def test_result_round_trip(self, tmp_path):
+        path = tmp_path / "r.json"
+        original = sample_result()
+        result_to_json(original, path)
+        loaded = load_result_json(path)
+        assert loaded.experiment == original.experiment
+        assert loaded.notes == original.notes
+        assert loaded.rows[0]["scheme"] == "A"
+
+    def test_nan_becomes_string(self, tmp_path):
+        path = tmp_path / "r.json"
+        result_to_json(sample_result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["rows"][1]["viol"] == "nan"
+
+    def test_summary_dict_structure(self):
+        flat = summary_to_dict(sample_summary())
+        assert flat["finished"] == 1
+        assert "violations" in flat
+        assert "per_tier_pct" in flat["violations"]
+        assert flat["violations"]["overall_pct"] == 0.0
+
+    def test_summary_json_is_valid(self, tmp_path):
+        path = tmp_path / "s.json"
+        summary_to_json(sample_summary(), path)
+        payload = json.loads(path.read_text())
+        assert payload["num_requests"] == 1
+        # json.dumps must not have emitted bare NaN.
+        assert "NaN" not in path.read_text()
+
+    def test_inf_handling(self):
+        from repro.metrics.export import _jsonable
+
+        assert _jsonable(float("inf")) == "inf"
+        assert _jsonable(float("-inf")) == "-inf"
+        assert _jsonable({"a": [1.0, float("nan")]}) == {"a": [1.0, "nan"]}
+        assert not math.isnan(_jsonable(1.5))

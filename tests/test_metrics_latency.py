@@ -1,0 +1,105 @@
+"""Unit tests for latency extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.latency import (
+    governing_latency,
+    latency_percentiles,
+    rolling_percentile,
+)
+from tests.conftest import Q1, Q2, make_request
+
+
+def finished_interactive(arrival, ttft, rid=0):
+    r = make_request(request_id=rid, arrival_time=arrival,
+                     prompt_tokens=10, decode_tokens=1, qos=Q1)
+    r.prefill_done = 10
+    r.record_output_token(arrival + ttft)
+    return r
+
+
+def finished_batch(arrival, ttlt, rid=0):
+    r = make_request(request_id=rid, arrival_time=arrival,
+                     prompt_tokens=10, decode_tokens=2, qos=Q2)
+    r.prefill_done = 10
+    r.record_output_token(arrival + ttlt / 2)
+    r.record_output_token(arrival + ttlt)
+    return r
+
+
+class TestGoverningLatency:
+    def test_interactive_uses_ttft(self):
+        r = finished_interactive(10.0, 2.5)
+        assert governing_latency(r) == pytest.approx(2.5)
+
+    def test_non_interactive_uses_ttlt(self):
+        r = finished_batch(10.0, 120.0)
+        assert governing_latency(r) == pytest.approx(120.0)
+
+    def test_unfinished_without_now_is_inf(self):
+        assert governing_latency(make_request()) == math.inf
+
+    def test_unfinished_with_now_is_elapsed(self):
+        r = make_request(arrival_time=10.0)
+        assert governing_latency(r, now=14.0) == pytest.approx(4.0)
+
+    def test_interactive_in_decode_has_ttft(self):
+        r = make_request(prompt_tokens=10, decode_tokens=5, qos=Q1)
+        r.prefill_done = 10
+        r.record_output_token(3.0)
+        assert governing_latency(r) == pytest.approx(3.0)
+
+
+class TestPercentiles:
+    def test_known_values(self):
+        requests = [
+            finished_interactive(0.0, ttft, rid=i)
+            for i, ttft in enumerate([1.0, 2.0, 3.0, 4.0, 5.0])
+        ]
+        pcts = latency_percentiles(requests, (0.5, 1.0))
+        assert pcts[0.5] == pytest.approx(3.0)
+        assert pcts[1.0] == pytest.approx(5.0)
+
+    def test_empty_is_nan(self):
+        pcts = latency_percentiles([], (0.5,))
+        assert math.isnan(pcts[0.5])
+
+    def test_unfinished_mass_gives_inf_tail(self):
+        requests = [finished_interactive(0.0, 1.0, rid=i) for i in range(5)]
+        requests.append(make_request(request_id=9))
+        pcts = latency_percentiles(requests, (0.5, 0.99))
+        assert pcts[0.5] == pytest.approx(1.0)
+        assert pcts[0.99] == math.inf
+
+    def test_now_bounds_unfinished(self):
+        requests = [make_request(request_id=i, arrival_time=0.0)
+                    for i in range(4)]
+        pcts = latency_percentiles(requests, (0.99,), now=7.0)
+        assert pcts[0.99] == pytest.approx(7.0)
+
+
+class TestRollingPercentile:
+    def test_windows_cover_span(self):
+        requests = [
+            finished_interactive(float(t), 1.0, rid=t) for t in range(100)
+        ]
+        centers, series = rolling_percentile(requests, 0.99, window=10.0)
+        assert len(centers) == len(series) >= 9
+        assert np.allclose(series[~np.isnan(series)], 1.0)
+
+    def test_detects_burst_window(self):
+        calm = [finished_interactive(float(t), 1.0, rid=t)
+                for t in range(50)]
+        stormy = [finished_interactive(50.0 + t, 30.0, rid=100 + t)
+                  for t in range(50)]
+        centers, series = rolling_percentile(calm + stormy, 0.99,
+                                             window=25.0)
+        assert series[0] == pytest.approx(1.0)
+        assert series[-1] == pytest.approx(30.0)
+
+    def test_empty(self):
+        centers, series = rolling_percentile([], 0.99)
+        assert len(centers) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for SLO violation accounting."""
+
+import math
+
+import pytest
+
+from repro.metrics.slo import violation_report
+from tests.conftest import Q1, Q2, Q3, make_request
+
+
+def served(rid, arrival=0.0, ttft=1.0, qos=Q1, prompt=1000, important=True,
+           decode_tokens=2):
+    r = make_request(request_id=rid, arrival_time=arrival,
+                     prompt_tokens=prompt, decode_tokens=decode_tokens,
+                     qos=qos, important=important)
+    r.prefill_done = prompt
+    r.record_output_token(arrival + ttft)
+    for i in range(1, decode_tokens):
+        r.record_output_token(arrival + ttft + 0.03 * i)
+    return r
+
+
+class TestOverall:
+    def test_no_violations(self):
+        requests = [served(i) for i in range(10)]
+        report = violation_report(requests)
+        assert report.overall_pct == 0.0
+        assert report.total_requests == 10
+
+    def test_counts_ttft_violations(self):
+        good = [served(i, ttft=1.0) for i in range(8)]
+        bad = [served(100 + i, ttft=10.0) for i in range(2)]
+        report = violation_report(good + bad)
+        assert report.overall_pct == pytest.approx(20.0)
+
+    def test_non_interactive_judged_on_ttlt(self):
+        ok = served(1, ttft=599.0, qos=Q2)          # TTLT ~599 < 600
+        report = violation_report([ok])
+        assert report.overall_pct == 0.0
+
+    def test_empty(self):
+        report = violation_report([])
+        assert report.total_requests == 0
+        assert math.isnan(report.overall_pct)
+
+
+class TestNowSemantics:
+    def test_pending_unexpired_excluded(self):
+        pending = make_request(request_id=1, arrival_time=0.0, qos=Q1)
+        done = served(2)
+        report = violation_report([pending, done], now=3.0)
+        assert report.total_requests == 1  # pending outcome unknown
+
+    def test_pending_expired_counts(self):
+        pending = make_request(request_id=1, arrival_time=0.0, qos=Q1)
+        done = served(2)
+        report = violation_report([pending, done], now=10.0)
+        assert report.total_requests == 2
+        assert report.overall_pct == pytest.approx(50.0)
+
+
+class TestBreakdowns:
+    def test_per_tier(self):
+        requests = [
+            served(1, ttft=1.0, qos=Q1),
+            served(2, ttft=10.0, qos=Q1),
+            served(3, ttft=100.0, qos=Q2),
+        ]
+        report = violation_report(requests)
+        assert report.tier("Q1") == pytest.approx(50.0)
+        assert report.tier("Q2") == 0.0
+        assert math.isnan(report.tier("Q3"))
+
+    def test_short_long_split(self):
+        shorts = [served(i, prompt=100, ttft=1.0) for i in range(9)]
+        long_bad = served(99, prompt=10_000, ttft=20.0)
+        report = violation_report(shorts + [long_bad])
+        assert report.long_pct == pytest.approx(100.0)
+        assert report.short_pct == pytest.approx(0.0)
+        assert report.long_threshold >= 100
+
+    def test_importance_split(self):
+        vip = served(1, important=True, ttft=1.0)
+        free_bad = served(2, important=False, ttft=10.0)
+        report = violation_report([vip, free_bad])
+        assert report.important_pct == 0.0
+        assert report.low_priority_pct == pytest.approx(100.0)
+
+    def test_relegated_pct(self):
+        requests = [served(i) for i in range(4)]
+        requests[0].relegated = True
+        report = violation_report(requests)
+        assert report.relegated_pct == pytest.approx(25.0)
+
+
+class TestTbtAccounting:
+    def test_on_time_requests_with_clean_pacing(self):
+        report = violation_report([served(1, decode_tokens=10)])
+        assert report.tbt_miss_pct == 0.0
+
+    def test_late_ttft_excluded_from_tbt(self):
+        """A request that blew TTFT must not pollute the TBT metric."""
+        late = served(1, ttft=20.0, decode_tokens=10)
+        report = violation_report([late])
+        assert report.tbt_miss_pct == 0.0
+
+    def test_slow_pacing_counts(self):
+        r = make_request(request_id=1, arrival_time=0.0, prompt_tokens=10,
+                         decode_tokens=3, qos=Q1)
+        r.prefill_done = 10
+        r.record_output_token(1.0)
+        r.record_output_token(9.0)   # blows the cumulative deadline
+        r.record_output_token(9.01)
+        report = violation_report([r])
+        assert report.tbt_miss_pct > 0

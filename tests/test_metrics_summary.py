@@ -1,0 +1,64 @@
+"""Unit tests for run summaries."""
+
+import math
+
+import pytest
+
+from repro.metrics.summary import summarize_run
+from tests.conftest import Q1, Q2, make_request
+
+
+def served(rid, arrival=0.0, ttft=1.0, qos=Q1, decode_tokens=3):
+    r = make_request(request_id=rid, arrival_time=arrival,
+                     prompt_tokens=100, decode_tokens=decode_tokens,
+                     qos=qos)
+    r.prefill_done = 100
+    r.record_output_token(arrival + ttft)
+    for i in range(1, decode_tokens):
+        r.record_output_token(arrival + ttft + 0.02 * i)
+    return r
+
+
+class TestSummarizeRun:
+    def test_counts(self):
+        requests = [served(i) for i in range(5)]
+        requests.append(make_request(request_id=99))
+        summary = summarize_run(requests, now=100.0)
+        assert summary.num_requests == 6
+        assert summary.finished == 5
+
+    def test_tier_percentiles(self):
+        requests = [served(i, ttft=float(i + 1)) for i in range(5)]
+        requests += [served(10 + i, ttft=50.0, qos=Q2) for i in range(3)]
+        summary = summarize_run(requests)
+        assert summary.tier_percentile("Q1", 0.50) == pytest.approx(3.0)
+        # Q2 is judged on TTLT: ttft + 0.02 * 2.
+        assert summary.tier_percentile("Q2", 0.50) == pytest.approx(
+            50.04, abs=0.01
+        )
+        assert math.isnan(summary.tier_percentile("Q9", 0.5))
+
+    def test_goodput_bar(self):
+        good = [served(i) for i in range(200)]
+        summary = summarize_run(good)
+        assert summary.meets_goodput_bar
+        bad = good + [served(999, ttft=30.0) for _ in range(10)]
+        summary = summarize_run(bad)
+        assert not summary.meets_goodput_bar
+
+    def test_mean_ttft(self):
+        requests = [served(i, ttft=2.0) for i in range(4)]
+        summary = summarize_run(requests)
+        assert summary.mean_ttft == pytest.approx(2.0)
+
+    def test_qps_served(self):
+        requests = [served(i, arrival=float(i)) for i in range(11)]
+        summary = summarize_run(requests)
+        # 11 completions over the ~11.04 s arrival-to-last-completion
+        # span (last arrival at t=10 plus ~1.04 s of service).
+        assert summary.qps_served == pytest.approx(1.0, rel=0.05)
+
+    def test_empty_run(self):
+        summary = summarize_run([])
+        assert summary.num_requests == 0
+        assert summary.qps_served == 0.0

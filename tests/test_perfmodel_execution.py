@@ -1,0 +1,165 @@
+"""Unit tests for the analytical execution-time model.
+
+Beyond mechanics, these pin the calibration targets the reproduction
+depends on: the Figure 4 shape (throughput saturating near chunk 2500
+around 9-10k tokens/s; ~50 ms batches near chunk 256-330) and the
+memory-bound decode floor.
+"""
+
+import pytest
+
+from repro.perfmodel import (
+    A100_80GB,
+    H100_80GB,
+    LLAMA3_70B,
+    LLAMA3_8B,
+    QWEN_7B,
+    BatchShape,
+    ExecutionModel,
+    PrefillChunk,
+)
+
+
+class TestBasicProperties:
+    def test_empty_batch_is_free(self, execution_model):
+        assert execution_model.batch_time(BatchShape()) == 0.0
+
+    def test_time_positive(self, execution_model):
+        t = execution_model.batch_time(
+            BatchShape([PrefillChunk(128, 0)], 4, 4096)
+        )
+        assert t > 0
+
+    def test_monotone_in_chunk_size(self, execution_model):
+        times = [
+            execution_model.batch_time(BatchShape([PrefillChunk(c, 0)]))
+            for c in (64, 128, 256, 512, 1024, 2048)
+        ]
+        assert times == sorted(times)
+
+    def test_monotone_in_decode_context(self, execution_model):
+        t_small = execution_model.decode_batch_time(32, 32 * 512)
+        t_large = execution_model.decode_batch_time(32, 32 * 4096)
+        assert t_large > t_small
+
+    def test_monotone_in_batch_size(self, execution_model):
+        t8 = execution_model.decode_batch_time(8, 8 * 1024)
+        t64 = execution_model.decode_batch_time(64, 64 * 1024)
+        assert t64 > t8
+
+    def test_context_increases_prefill_cost(self, execution_model):
+        early = execution_model.batch_time(
+            BatchShape([PrefillChunk(512, 0)])
+        )
+        late = execution_model.batch_time(
+            BatchShape([PrefillChunk(512, 8192)])
+        )
+        assert late > early
+
+    def test_overhead_is_floor(self, execution_model):
+        t = execution_model.batch_time(BatchShape(num_decodes=1,
+                                                  decode_context_total=1))
+        assert t >= execution_model.overhead
+
+
+class TestCalibration:
+    """Figure 4 anchors for Llama3-8B on A100."""
+
+    def test_throughput_saturates_near_2500(self, execution_model):
+        tput_2500 = execution_model.peak_prefill_throughput(2500)
+        tput_4096 = execution_model.peak_prefill_throughput(4096)
+        assert tput_2500 == pytest.approx(tput_4096, rel=0.05)
+        assert 8000 <= tput_2500 <= 11000
+
+    def test_small_chunk_throughput_penalty(self, execution_model):
+        """Paper: chunk 2500 delivers ~2x the throughput of chunk 256."""
+        ratio = (
+            execution_model.peak_prefill_throughput(2500)
+            / execution_model.peak_prefill_throughput(256)
+        )
+        assert 1.5 <= ratio <= 2.3
+
+    def test_50ms_slo_crossing_near_chunk_330(self, execution_model):
+        """Figure 4 marks chunk ~330 at the 50 ms latency line."""
+        t256 = execution_model.batch_time(BatchShape([PrefillChunk(256, 0)]))
+        t512 = execution_model.batch_time(BatchShape([PrefillChunk(512, 0)]))
+        assert t256 < 0.055
+        assert t512 > 0.055
+
+    def test_decode_iteration_meets_strict_tbt(self, execution_model):
+        """A loaded decode batch alone stays well under 50 ms."""
+        t = execution_model.decode_batch_time(64, 64 * 2000)
+        assert t < 0.050
+
+    def test_weight_streaming_floor(self, execution_model):
+        """A single decode token is memory-bound at ~weight/bandwidth."""
+        floor = LLAMA3_8B.weight_bytes() / A100_80GB.mem_bandwidth
+        t = execution_model.decode_batch_time(1, 128)
+        assert t >= floor
+
+
+class TestDeployments:
+    def test_all_table1_deployments_fit(self):
+        ExecutionModel(LLAMA3_8B, A100_80GB, tp_degree=1)
+        ExecutionModel(QWEN_7B, A100_80GB, tp_degree=2)
+        ExecutionModel(LLAMA3_70B, H100_80GB, tp_degree=4)
+
+    def test_oversized_model_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionModel(LLAMA3_70B, A100_80GB, tp_degree=1)
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionModel(LLAMA3_8B, A100_80GB, tp_degree=0)
+
+    def test_tp_speeds_up_prefill(self):
+        tp1 = ExecutionModel(QWEN_7B, A100_80GB, tp_degree=1)
+        tp2 = ExecutionModel(QWEN_7B, A100_80GB, tp_degree=2)
+        assert (
+            tp2.peak_prefill_throughput(2048)
+            > tp1.peak_prefill_throughput(2048)
+        )
+
+    def test_kv_capacity_positive_and_sane(self, execution_model):
+        assert 100_000 <= execution_model.kv_capacity_tokens <= 1_000_000
+
+    def test_mha_model_has_less_kv_room(self):
+        gqa = ExecutionModel(LLAMA3_8B, A100_80GB)
+        mha = ExecutionModel(QWEN_7B, A100_80GB, tp_degree=2)
+        # Qwen has 2 GPUs of memory yet still fits fewer tokens: MHA
+        # KV is 4x larger per token.
+        assert mha.kv_capacity_tokens < gqa.kv_capacity_tokens
+
+
+class TestHelpers:
+    def test_prefill_time_sums_chunks(self, execution_model):
+        one_shot = execution_model.batch_time(
+            BatchShape([PrefillChunk(512, 0)])
+        )
+        chunked = execution_model.prefill_time(512, chunk_size=512)
+        assert chunked == pytest.approx(one_shot)
+
+    def test_prefill_time_handles_remainder(self, execution_model):
+        t = execution_model.prefill_time(300, chunk_size=256)
+        t_first = execution_model.batch_time(
+            BatchShape([PrefillChunk(256, 0)])
+        )
+        t_second = execution_model.batch_time(
+            BatchShape([PrefillChunk(44, 256)])
+        )
+        assert t == pytest.approx(t_first + t_second)
+
+    def test_prefill_time_invalid_chunk(self, execution_model):
+        with pytest.raises(ValueError):
+            execution_model.prefill_time(100, chunk_size=0)
+
+    def test_seconds_per_prefill_token(self, execution_model):
+        spt = execution_model.seconds_per_prefill_token()
+        assert 5e-5 <= spt <= 5e-4
+
+    def test_batch_shape_totals(self):
+        shape = BatchShape(
+            [PrefillChunk(100, 0), PrefillChunk(50, 10)], 7, 700
+        )
+        assert shape.prefill_tokens == 150
+        assert shape.total_tokens == 157

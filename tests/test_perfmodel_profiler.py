@@ -1,0 +1,96 @@
+"""Unit tests for the Vidur-style profiling harness."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.execution import BatchShape, PrefillChunk
+from repro.perfmodel.profiler import (
+    FEATURE_NAMES,
+    ProfileSample,
+    Profiler,
+    batch_features,
+)
+
+
+class TestProfiler:
+    def test_collect_covers_grid(self, execution_model):
+        profiler = Profiler(execution_model)
+        samples = profiler.collect(
+            chunk_sizes=(0, 128), batch_sizes=(0, 4), contexts=(0, 1024)
+        )
+        # (chunk, batch) pairs minus the empty-empty pair, times contexts.
+        assert len(samples) == 3 * 2
+
+    def test_empty_batch_skipped(self, execution_model):
+        profiler = Profiler(execution_model)
+        samples = profiler.collect(
+            chunk_sizes=(0,), batch_sizes=(0, 1), contexts=(0,)
+        )
+        assert all(
+            s.prefill_tokens > 0 or s.num_decodes > 0 for s in samples
+        )
+
+    def test_latencies_match_model(self, execution_model):
+        profiler = Profiler(execution_model)
+        samples = profiler.collect(
+            chunk_sizes=(256,), batch_sizes=(8,), contexts=(1024,)
+        )
+        sample = samples[0]
+        expected = execution_model.batch_time(
+            BatchShape(
+                [PrefillChunk(256, 1024)],
+                num_decodes=8,
+                decode_context_total=8 * 1024,
+            )
+        )
+        assert sample.latency == pytest.approx(expected)
+
+    def test_noise_requires_rng(self, execution_model):
+        with pytest.raises(ValueError):
+            Profiler(execution_model, noise_std=0.1)
+
+    def test_noise_perturbs_latency(self, execution_model):
+        rng = np.random.default_rng(0)
+        noisy = Profiler(execution_model, noise_std=0.2, rng=rng)
+        clean = Profiler(execution_model)
+        grid = dict(chunk_sizes=(256,), batch_sizes=(8,), contexts=(1024,))
+        a = noisy.collect(**grid)[0].latency
+        b = clean.collect(**grid)[0].latency
+        assert a != b
+        assert a == pytest.approx(b, rel=1.0)  # same ballpark
+
+    def test_to_arrays_shapes(self, execution_model):
+        profiler = Profiler(execution_model)
+        samples = profiler.collect(
+            chunk_sizes=(0, 128), batch_sizes=(0, 4), contexts=(0, 512)
+        )
+        x, y = profiler.to_arrays(samples)
+        assert x.shape == (len(samples), len(FEATURE_NAMES))
+        assert y.shape == (len(samples),)
+        assert (y > 0).all()
+
+    def test_default_grid_size(self, execution_model):
+        samples = Profiler(execution_model).collect()
+        assert len(samples) > 1000
+
+
+class TestFeatureLayout:
+    def test_profile_sample_features(self):
+        sample = ProfileSample(
+            prefill_tokens=128,
+            prefill_context_before=256,
+            num_decodes=4,
+            decode_context_total=4096,
+            latency=0.01,
+        )
+        assert sample.features() == (128.0, 256.0, 4.0, 4096.0)
+
+    def test_batch_features_match_sample_features(self):
+        shape = BatchShape(
+            [PrefillChunk(128, 256)], num_decodes=4, decode_context_total=4096
+        )
+        assert batch_features(shape) == (128.0, 256.0, 4.0, 4096.0)
+
+    def test_batch_features_no_prefill(self):
+        shape = BatchShape(num_decodes=2, decode_context_total=100)
+        assert batch_features(shape) == (0.0, 0.0, 2.0, 100.0)

@@ -1,0 +1,102 @@
+"""Regime-boundary tests for the execution model.
+
+The scheduler's whole premise is the asymmetry between compute-bound
+prefill and memory-bound decode; these tests pin that structure, not
+just point values.
+"""
+
+import pytest
+
+from repro.perfmodel import (
+    A100_80GB,
+    LLAMA3_8B,
+    BatchShape,
+    ExecutionModel,
+    PrefillChunk,
+)
+
+
+@pytest.fixture(scope="module")
+def em():
+    return ExecutionModel(LLAMA3_8B, A100_80GB)
+
+
+class TestDecodeRegime:
+    def test_single_decode_near_weight_floor(self, em):
+        """One decode token is bandwidth-bound: its iteration sits
+        within ~2x of the weight-streaming floor plus overhead."""
+        floor = LLAMA3_8B.weight_bytes() / A100_80GB.mem_bandwidth
+        t = em.decode_batch_time(1, 1024)
+        assert t < 2.0 * (floor + em.overhead)
+
+    def test_decode_batching_amortizes_weights(self, em):
+        """64 decodes cost far less than 64x one decode."""
+        one = em.decode_batch_time(1, 1024)
+        batch = em.decode_batch_time(64, 64 * 1024)
+        assert batch < 8 * one
+
+    def test_decode_cost_linear_in_kv(self, em):
+        """Beyond the weight floor, decode time grows with KV read."""
+        base = em.decode_batch_time(64, 64 * 512)
+        double = em.decode_batch_time(64, 64 * 1024)
+        quad = em.decode_batch_time(64, 64 * 2048)
+        assert (quad - double) == pytest.approx(
+            2 * (double - base), rel=0.2
+        )
+
+
+class TestPrefillRegime:
+    def test_prefill_tokens_cost_more_than_decode_tokens(self, em):
+        """Adding 256 prefill tokens to a batch costs more than adding
+        256 decode tokens (GEMM at degraded MFU vs riding the weight
+        stream) — the asymmetry chunking exploits."""
+        base = em.decode_batch_time(32, 32 * 1024)
+        with_prefill = em.batch_time(
+            BatchShape([PrefillChunk(256, 0)], 32, 32 * 1024)
+        )
+        with_decodes = em.decode_batch_time(32 + 256, 32 * 1024 + 256)
+        assert with_prefill - base > with_decodes - base
+
+    def test_attention_grows_with_context_position(self, em):
+        """Equal-size chunks get costlier deeper into the prompt (the
+        effect Medha's shrinking chunks respond to)."""
+        costs = [
+            em.batch_time(BatchShape([PrefillChunk(1024, c)]))
+            for c in (0, 8192, 32768, 65536)
+        ]
+        deltas = [b - a for a, b in zip(costs, costs[1:])]
+        assert all(d > 0 for d in deltas)
+        # Quadratic attention: marginal cost grows with position...
+        # linearly, so equal context steps give roughly equal deltas
+        # scaled by step size; the later (bigger) steps dominate.
+        assert deltas[-1] > deltas[0]
+
+    def test_two_small_chunks_cost_no_less_than_one_big(self, em):
+        one = em.batch_time(BatchShape([PrefillChunk(1024, 0)]))
+        split = em.batch_time(
+            BatchShape([PrefillChunk(512, 0), PrefillChunk(512, 0)])
+        )
+        # Same tokens in one iteration: splitting across requests may
+        # differ in attention but not catastrophically.
+        assert split == pytest.approx(one, rel=0.25)
+
+
+class TestMixedBatches:
+    def test_mixed_batch_at_most_sum_of_parts(self, em):
+        """Fusing prefill and decode into one iteration is the whole
+        point of chunked prefill: it must beat running them apart."""
+        prefill_only = em.batch_time(BatchShape([PrefillChunk(512, 0)]))
+        decode_only = em.decode_batch_time(64, 64 * 1500)
+        fused = em.batch_time(
+            BatchShape([PrefillChunk(512, 0)], 64, 64 * 1500)
+        )
+        assert fused < prefill_only + decode_only
+
+    def test_decode_riders_are_cheap(self, em):
+        """Decodes added to a prefill-bound batch cost little extra —
+        the 'piggybacking decodes' of the Sarathi design."""
+        alone = em.batch_time(BatchShape([PrefillChunk(2048, 0)]))
+        ridden = em.batch_time(
+            BatchShape([PrefillChunk(2048, 0)], 32, 32 * 1024)
+        )
+        assert ridden < alone * 1.25

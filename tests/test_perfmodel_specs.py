@@ -1,0 +1,67 @@
+"""Unit tests for model and hardware specifications."""
+
+import pytest
+
+from repro.perfmodel import (
+    A100_80GB,
+    H100_80GB,
+    LLAMA3_70B,
+    LLAMA3_8B,
+    QWEN_7B,
+)
+from repro.perfmodel.modelspec import ModelSpec
+
+
+class TestModelSpecs:
+    def test_llama3_8b_parameter_count(self):
+        """Weight bytes should land near the well-known ~16 GB bf16."""
+        gb = LLAMA3_8B.weight_bytes() / 1e9
+        assert 14.0 <= gb <= 18.0
+
+    def test_llama3_70b_parameter_count(self):
+        gb = LLAMA3_70B.weight_bytes() / 1e9
+        assert 130.0 <= gb <= 150.0
+
+    def test_gqa_reduces_kv_bytes(self):
+        """Qwen-7B (MHA) stores 4x the KV of Llama3-8B (GQA 32/8)."""
+        ratio = QWEN_7B.kv_bytes_per_token() / LLAMA3_8B.kv_bytes_per_token()
+        assert ratio == pytest.approx(4.0)
+
+    def test_head_dim(self):
+        assert LLAMA3_8B.head_dim == 128
+        assert LLAMA3_70B.head_dim == 128
+
+    def test_kv_dim_mha_equals_hidden(self):
+        assert QWEN_7B.kv_dim == QWEN_7B.hidden_size
+
+    def test_linear_flops_scale_with_depth(self):
+        shallow = ModelSpec(
+            name="x", num_layers=16, hidden_size=4096,
+            intermediate_size=14336, num_q_heads=32, num_kv_heads=8,
+            vocab_size=128256,
+        )
+        assert (
+            LLAMA3_8B.linear_flops_per_token()
+            > shallow.linear_flops_per_token()
+        )
+
+    def test_llama3_8b_flops_per_token_order_of_magnitude(self):
+        """~2 * 7.5B FLOPs/token for the 8B model's linear layers."""
+        flops = LLAMA3_8B.linear_flops_per_token()
+        assert 1.2e10 <= flops <= 1.8e10
+
+
+class TestHardwareSpecs:
+    def test_a100_peaks(self):
+        assert A100_80GB.peak_flops == pytest.approx(312e12)
+        assert A100_80GB.mem_capacity == pytest.approx(80e9)
+
+    def test_h100_faster_than_a100(self):
+        assert H100_80GB.peak_flops > A100_80GB.peak_flops
+        assert H100_80GB.mem_bandwidth > A100_80GB.mem_bandwidth
+
+    def test_overhead_grows_with_tp(self):
+        assert A100_80GB.overhead(4) > A100_80GB.overhead(1)
+
+    def test_overhead_tp1_is_base(self):
+        assert A100_80GB.overhead(1) == A100_80GB.base_overhead

@@ -1,0 +1,102 @@
+"""Property-based tests on core invariants: deadlines, priorities,
+chunking monotonicity, and the execution model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.priority import HybridPriority
+from repro.core.qos import Q1_INTERACTIVE, Q2_RELAXED
+from repro.core.request import Request
+from repro.perfmodel import (
+    A100_80GB,
+    LLAMA3_8B,
+    BatchShape,
+    ExecutionModel,
+    PrefillChunk,
+)
+
+EM = ExecutionModel(LLAMA3_8B, A100_80GB)
+
+
+@given(
+    arrival=st.floats(0, 1e6, allow_nan=False),
+    n=st.integers(1, 5000),
+)
+def test_interactive_token_deadlines_monotone(arrival, n):
+    """Eq. 2 deadlines increase strictly with token index."""
+    d_n = Q1_INTERACTIVE.token_deadline(arrival, n)
+    d_next = Q1_INTERACTIVE.token_deadline(arrival, n + 1)
+    assert d_next > d_n
+    assert d_n >= Q1_INTERACTIVE.first_token_deadline(arrival)
+
+
+@given(
+    arrival=st.floats(0, 1e6, allow_nan=False),
+    n=st.integers(1, 5000),
+)
+def test_non_interactive_deadline_constant(arrival, n):
+    """Eq. 3: one deadline for the whole request."""
+    assert Q2_RELAXED.token_deadline(arrival, n) == (
+        Q2_RELAXED.first_token_deadline(arrival)
+    )
+
+
+@given(
+    prompt=st.integers(1, 20_000),
+    decode=st.integers(1, 2_000),
+    alpha=st.floats(0.0, 0.1, allow_nan=False),
+    progress=st.integers(0, 100),
+)
+def test_priority_never_decreases_with_more_work(prompt, decode, alpha,
+                                                 progress):
+    """For a fixed deadline, strictly more remaining work can never
+    give a strictly better (lower) hybrid score."""
+    hp = HybridPriority(alpha=alpha)
+    small = Request(0, 0.0, prompt, decode, Q1_INTERACTIVE)
+    big = Request(1, 0.0, prompt + 1 + progress, decode, Q1_INTERACTIVE)
+    assert hp.score(big) >= hp.score(small)
+
+
+@given(
+    chunk_a=st.integers(1, 4096),
+    chunk_b=st.integers(1, 4096),
+    context=st.integers(0, 16_384),
+    decodes=st.integers(0, 200),
+)
+@settings(max_examples=80)
+def test_batch_time_monotone_in_prefill_tokens(chunk_a, chunk_b, context,
+                                               decodes):
+    lo, hi = sorted((chunk_a, chunk_b))
+    t_lo = EM.batch_time(
+        BatchShape([PrefillChunk(lo, context)], decodes, decodes * 1024)
+    )
+    t_hi = EM.batch_time(
+        BatchShape([PrefillChunk(hi, context)], decodes, decodes * 1024)
+    )
+    assert t_hi >= t_lo - 1e-12
+
+
+@given(
+    tokens=st.integers(1, 8192),
+    chunk=st.integers(16, 4096),
+)
+@settings(max_examples=60)
+def test_chunked_prefill_never_faster_than_single_shot(tokens, chunk):
+    """Splitting into chunks adds per-iteration overhead, so it can
+    only slow the prompt down (the Figure 4 trade-off's latency side)."""
+    single = EM.batch_time(BatchShape([PrefillChunk(tokens, 0)]))
+    chunked = EM.prefill_time(tokens, chunk_size=chunk)
+    assert chunked >= single - 1e-12
+
+
+@given(
+    prompt=st.integers(1, 5000),
+    decode=st.integers(1, 500),
+    done=st.integers(0, 5000),
+)
+def test_request_counters_consistent(prompt, decode, done):
+    r = Request(0, 0.0, prompt, decode, Q2_RELAXED)
+    r.prefill_done = min(done, prompt)
+    assert r.remaining_prefill + r.prefill_done == r.prefill_target
+    assert 0 <= r.remaining_prefill <= r.prefill_target
+    assert r.context_length == r.prefill_done + r.decoded

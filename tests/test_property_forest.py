@@ -1,0 +1,66 @@
+"""Property-based tests for the random-forest substrate."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.forest import DecisionTreeRegressor, RandomForestRegressor
+
+
+@st.composite
+def regression_data(draw):
+    n = draw(st.integers(5, 60))
+    n_features = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-10, 10, size=(n, n_features))
+    y = rng.uniform(-5, 5, size=n)
+    return x, y
+
+
+@given(data=regression_data())
+@settings(max_examples=40, deadline=None)
+def test_tree_predictions_within_target_range(data):
+    """Tree leaves are means of training targets, so predictions can
+    never escape the training range."""
+    x, y = data
+    tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+    preds = tree.predict(x)
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+@given(data=regression_data())
+@settings(max_examples=40, deadline=None)
+def test_deep_tree_interpolates_training_points(data):
+    """With unlimited depth and leaf size 1, distinct inputs are fit
+    exactly (modulo duplicated feature rows)."""
+    x, y = data
+    # De-duplicate rows so exact fitting is achievable.
+    _, idx = np.unique(x, axis=0, return_index=True)
+    x, y = x[idx], y[idx]
+    tree = DecisionTreeRegressor(
+        max_depth=64, min_samples_leaf=1, min_samples_split=2
+    ).fit(x, y)
+    assert np.allclose(tree.predict(x), y, atol=1e-9)
+
+
+@given(data=regression_data(), quantile=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_forest_quantile_bounded_by_votes(data, quantile):
+    x, y = data
+    forest = RandomForestRegressor(n_trees=5, max_depth=4, seed=0).fit(x, y)
+    point = x[0]
+    votes = [t.predict_one(point) for t in forest._trees]
+    pred = forest.predict_one(point, quantile=quantile)
+    assert min(votes) - 1e-9 <= pred <= max(votes) + 1e-9
+
+
+@given(data=regression_data())
+@settings(max_examples=30, deadline=None)
+def test_forest_mean_is_vote_average(data):
+    x, y = data
+    forest = RandomForestRegressor(n_trees=7, max_depth=4, seed=1).fit(x, y)
+    point = x[-1]
+    votes = [t.predict_one(point) for t in forest._trees]
+    assert forest.predict_one(point) == sum(votes) / len(votes)

@@ -1,0 +1,81 @@
+"""Property-based tests for workload generation."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.simcore.rng import RngStreams
+from repro.workload.arrivals import DiurnalArrivals, PoissonArrivals
+from repro.workload.distributions import LognormalLengths
+
+
+@given(
+    p50=st.floats(1.0, 5000.0),
+    ratio=st.floats(1.01, 10.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_lognormal_samples_valid(p50, ratio, seed):
+    dist = LognormalLengths(p50=p50, p90=p50 * ratio, max_tokens=100_000)
+    rng = np.random.default_rng(seed)
+    samples = dist.sample(rng, 200)
+    assert (samples >= 1).all()
+    assert (samples <= 100_000).all()
+    assert samples.dtype == np.int64
+
+
+@given(
+    p50=st.floats(10.0, 3000.0),
+    ratio=st.floats(1.05, 8.0),
+    q=st.floats(0.05, 0.95),
+)
+@settings(max_examples=60, deadline=None)
+def test_lognormal_percentile_monotone_and_anchored(p50, ratio, q):
+    dist = LognormalLengths(p50=p50, p90=p50 * ratio)
+    assert dist.percentile(0.5) == np.float64(p50) or abs(
+        dist.percentile(0.5) - p50
+    ) < 1e-6 * p50
+    lower = dist.percentile(max(0.01, q - 0.04))
+    upper = dist.percentile(min(0.99, q + 0.04))
+    assert lower <= dist.percentile(q) <= upper
+
+
+@given(
+    qps=st.floats(0.1, 50.0),
+    n=st.integers(1, 300),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_poisson_arrivals_sorted_positive(qps, n, seed):
+    rng = np.random.default_rng(seed)
+    arrivals = PoissonArrivals(qps).generate(rng, n)
+    assert len(arrivals) == n
+    assert arrivals[0] > 0
+    assert (np.diff(arrivals) >= 0).all()
+
+
+@given(
+    low=st.floats(0.5, 5.0),
+    high_extra=st.floats(0.1, 10.0),
+    phase=st.floats(10.0, 2000.0),
+    n=st.integers(1, 200),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_diurnal_arrivals_sorted_and_rate_bounded(low, high_extra, phase,
+                                                  n, seed):
+    arrivals = DiurnalArrivals(low, low + high_extra, phase)
+    rng = np.random.default_rng(seed)
+    times = arrivals.generate(rng, n)
+    assert len(times) == n
+    assert (np.diff(times) >= 0).all()
+    for t in (0.0, phase / 2, phase * 1.5, phase * 7.2):
+        assert low <= arrivals.rate_at(t) <= low + high_extra
+
+
+@given(seed=st.integers(0, 2**16), name=st.text(min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_rng_streams_stable(seed, name):
+    a = RngStreams(seed).stream(name).random(3)
+    b = RngStreams(seed).stream(name).random(3)
+    assert (a == b).all()

@@ -1,0 +1,114 @@
+"""Unit tests for the classic baseline policies."""
+
+from repro.core.decode_estimator import OracleDecodeEstimator
+from repro.schedulers import (
+    EDFScheduler,
+    FCFSScheduler,
+    SJFScheduler,
+    SRPFScheduler,
+)
+from tests.conftest import Q1, Q2, Q3, make_request
+
+
+class TestFCFS:
+    def test_orders_by_arrival(self):
+        scheduler = FCFSScheduler()
+        early = make_request(arrival_time=1.0, prompt_tokens=9000)
+        late = make_request(arrival_time=2.0, prompt_tokens=10)
+        assert scheduler.priority(early, 5.0) < scheduler.priority(late, 5.0)
+
+    def test_ignores_qos(self):
+        scheduler = FCFSScheduler()
+        urgent = make_request(arrival_time=2.0, qos=Q1)
+        relaxed = make_request(arrival_time=1.0, qos=Q3)
+        assert scheduler.priority(relaxed, 0.0) < scheduler.priority(
+            urgent, 0.0
+        )
+
+
+class TestSJF:
+    def test_prefers_short_total_job(self):
+        scheduler = SJFScheduler(decode_estimator=OracleDecodeEstimator())
+        short = make_request(prompt_tokens=100, decode_tokens=5)
+        long = make_request(prompt_tokens=100, decode_tokens=500)
+        assert scheduler.priority(short, 0.0) < scheduler.priority(long, 0.0)
+
+    def test_decode_weight_matters(self):
+        scheduler = SJFScheduler(
+            decode_estimator=OracleDecodeEstimator(), decode_token_weight=100
+        )
+        prompty = make_request(prompt_tokens=5000, decode_tokens=1)
+        decody = make_request(prompt_tokens=100, decode_tokens=500)
+        # 500 decode tokens at weight 100 outweigh a 5000-token prompt.
+        assert scheduler.priority(prompty, 0.0) < scheduler.priority(
+            decody, 0.0
+        )
+
+    def test_not_preemptive_by_progress(self):
+        """SJF keys on total size, so progress does not change rank."""
+        scheduler = SJFScheduler(decode_estimator=OracleDecodeEstimator())
+        r = make_request(prompt_tokens=1000, decode_tokens=10)
+        before = scheduler.priority(r, 0.0)
+        r.prefill_done = 900
+        assert scheduler.priority(r, 0.0) == before
+
+    def test_observes_completions(self):
+        scheduler = SJFScheduler()
+        r = make_request(app_id="app", decode_tokens=123)
+        for _ in range(12):
+            scheduler.on_request_complete(r, 0.0)
+        estimate = scheduler.decode_estimator.estimate(
+            make_request(app_id="app")
+        )
+        assert estimate == 123.0
+
+
+class TestSRPF:
+    def test_prefers_less_remaining(self):
+        scheduler = SRPFScheduler()
+        fresh = make_request(prompt_tokens=500)
+        nearly_done = make_request(prompt_tokens=5000)
+        nearly_done.prefill_done = 4900
+        assert scheduler.priority(nearly_done, 0.0) < scheduler.priority(
+            fresh, 0.0
+        )
+
+    def test_preemptive_reranking(self):
+        """A shorter arrival preempts a long prompt mid-prefill."""
+        scheduler = SRPFScheduler()
+        long = make_request(prompt_tokens=8000)
+        long.prefill_done = 2000  # 6000 remaining
+        short = make_request(prompt_tokens=500)
+        assert scheduler.priority(short, 0.0) < scheduler.priority(long, 0.0)
+
+
+class TestEDF:
+    def test_orders_by_deadline(self):
+        scheduler = EDFScheduler()
+        tight = make_request(arrival_time=0.0, qos=Q1)      # deadline 6
+        loose = make_request(arrival_time=0.0, qos=Q2)      # deadline 600
+        assert scheduler.priority(tight, 0.0) < scheduler.priority(
+            loose, 0.0
+        )
+
+    def test_late_interactive_beats_early_batch(self):
+        scheduler = EDFScheduler()
+        batch = make_request(arrival_time=0.0, qos=Q3)      # deadline 1800
+        chat = make_request(arrival_time=100.0, qos=Q1)     # deadline 106
+        assert scheduler.priority(chat, 100.0) < scheduler.priority(
+            batch, 100.0
+        )
+
+    def test_ignores_length(self):
+        scheduler = EDFScheduler()
+        short = make_request(arrival_time=1.0, prompt_tokens=10, qos=Q1)
+        long = make_request(arrival_time=0.0, prompt_tokens=9000, qos=Q1)
+        assert scheduler.priority(long, 0.0) < scheduler.priority(short, 0.0)
+
+
+class TestNames:
+    def test_policy_names(self):
+        assert FCFSScheduler().name == "FCFS"
+        assert SJFScheduler().name == "SJF"
+        assert SRPFScheduler().name == "SRPF"
+        assert EDFScheduler().name == "EDF"

@@ -1,0 +1,84 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.simcore.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_by_priority(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, priority=5)
+        q.push(1.0, lambda: None, priority=1)
+        assert q.pop().priority == 1
+        assert q.pop().priority == 5
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(1.0, lambda: None)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_sequence_numbers_strictly_increase(self):
+        q = EventQueue()
+        events = [q.push(0.0, lambda: None) for _ in range(10)]
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 10
+
+
+class TestEventQueueBehaviour:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1.0, lambda: None)
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(2.0, lambda: None)
+        first.cancel()
+        assert q.pop() is second
+
+    def test_pop_all_cancelled_raises(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None).cancel()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        first.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), lambda: None)
+
+    def test_event_dataclass_comparison(self):
+        a = Event(time=1.0, priority=0, seq=0)
+        b = Event(time=1.0, priority=0, seq=1)
+        assert a < b

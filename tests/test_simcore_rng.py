@@ -1,0 +1,48 @@
+"""Unit tests for named RNG streams."""
+
+from repro.simcore.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).stream("arrivals").random(5)
+        b = RngStreams(7).stream("arrivals").random(5)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        streams = RngStreams(7)
+        a = streams.stream("arrivals").random(5)
+        b = streams.stream("lengths").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(5)
+        b = RngStreams(2).stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_consumption_isolated_between_names(self):
+        """Draining one stream must not perturb a sibling stream."""
+        fresh = RngStreams(3)
+        expected = fresh.stream("b").random(4)
+
+        drained = RngStreams(3)
+        drained.stream("a").random(1000)  # heavy use of another stream
+        assert (drained.stream("b").random(4) == expected).all()
+
+    def test_fork_changes_streams(self):
+        base = RngStreams(5)
+        forked = base.fork(1)
+        assert forked.seed != base.seed
+        a = base.stream("x").random(4)
+        b = forked.stream("x").random(4)
+        assert not (a == b).all()
+
+    def test_fork_deterministic(self):
+        assert RngStreams(5).fork(2).seed == RngStreams(5).fork(2).seed
+
+    def test_seed_property(self):
+        assert RngStreams(99).seed == 99

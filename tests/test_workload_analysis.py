@@ -1,0 +1,67 @@
+"""Unit tests for trace analysis."""
+
+import pytest
+
+from repro.workload.analysis import analyze_trace
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.datasets import AZURE_CODE
+from repro.workload.tiers import TierAssigner
+from repro.workload.trace import Trace, TraceBuilder
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceBuilder(
+        AZURE_CODE,
+        arrivals=PoissonArrivals(3.0),
+        tier_assigner=TierAssigner(low_priority_fraction=0.2),
+        seed=5,
+    ).build(3000)
+
+
+class TestAnalyzeTrace:
+    def test_basic_counts(self, trace):
+        stats = analyze_trace(trace)
+        assert stats.num_requests == 3000
+        assert stats.duration > 0
+        assert stats.mean_qps == pytest.approx(3.0, rel=0.1)
+
+    def test_percentiles_match_table2(self, trace):
+        stats = analyze_trace(trace)
+        assert stats.prompt_percentiles[0.50] == pytest.approx(
+            1930, rel=0.15
+        )
+        assert stats.decode_percentiles[0.50] == pytest.approx(8, abs=4)
+
+    def test_tier_shares_sum_to_one(self, trace):
+        stats = analyze_trace(trace)
+        assert sum(stats.tier_shares.values()) == pytest.approx(1.0)
+        assert set(stats.tier_shares) == {"Q1", "Q2", "Q3"}
+
+    def test_important_share(self, trace):
+        stats = analyze_trace(trace)
+        assert stats.important_share == pytest.approx(0.8, abs=0.03)
+
+    def test_work_volumes(self, trace):
+        stats = analyze_trace(trace)
+        assert stats.total_prefill_tokens == sum(
+            r.prompt_tokens for r in trace
+        )
+        assert stats.total_decode_tokens == sum(
+            r.decode_tokens for r in trace
+        )
+
+    def test_peak_qps_at_least_mean(self, trace):
+        stats = analyze_trace(trace)
+        assert stats.peak_qps >= stats.mean_qps * 0.9
+
+    def test_render_mentions_key_numbers(self, trace):
+        text = analyze_trace(trace).render()
+        assert "requests: 3000" in text
+        assert "p50" in text
+        assert "Q1" in text
+
+    def test_empty_trace(self):
+        stats = analyze_trace(Trace(requests=[]))
+        assert stats.num_requests == 0
+        assert stats.mean_qps == 0.0

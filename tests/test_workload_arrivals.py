@@ -1,0 +1,93 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    DiurnalArrivals,
+    PiecewiseArrivals,
+    PoissonArrivals,
+    burst_schedule,
+)
+
+
+class TestPoisson:
+    def test_rate_matches(self, rng):
+        arrivals = PoissonArrivals(qps=4.0).generate(rng, 20_000)
+        duration = arrivals[-1] - arrivals[0]
+        assert len(arrivals) / duration == pytest.approx(4.0, rel=0.05)
+
+    def test_sorted_and_positive(self, rng):
+        arrivals = PoissonArrivals(qps=2.0).generate(rng, 500)
+        assert (np.diff(arrivals) >= 0).all()
+        assert arrivals[0] > 0
+
+    def test_exponential_gaps(self, rng):
+        arrivals = PoissonArrivals(qps=1.0).generate(rng, 20_000)
+        gaps = np.diff(arrivals)
+        # Memoryless: std ~= mean for exponential inter-arrivals.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.05)
+
+    def test_mean_qps(self):
+        assert PoissonArrivals(qps=3.5).mean_qps() == 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(qps=0)
+
+
+class TestDiurnal:
+    def test_rate_at_phases(self):
+        arrivals = DiurnalArrivals(2.0, 5.0, phase_duration=900.0)
+        assert arrivals.rate_at(0.0) == 2.0
+        assert arrivals.rate_at(899.0) == 2.0
+        assert arrivals.rate_at(901.0) == 5.0
+        assert arrivals.rate_at(1801.0) == 2.0
+
+    def test_start_high(self):
+        arrivals = DiurnalArrivals(2.0, 5.0, phase_duration=10.0,
+                                   start_high=True)
+        assert arrivals.rate_at(0.0) == 5.0
+        assert arrivals.rate_at(11.0) == 2.0
+
+    def test_phase_rates_realized(self, rng):
+        arrivals = DiurnalArrivals(2.0, 5.0, phase_duration=500.0)
+        times = arrivals.generate(rng, 30_000)
+        low_phase = times[(times >= 0) & (times < 500)]
+        high_phase = times[(times >= 500) & (times < 1000)]
+        assert len(low_phase) / 500 == pytest.approx(2.0, rel=0.15)
+        assert len(high_phase) / 500 == pytest.approx(5.0, rel=0.15)
+
+    def test_mean_qps(self):
+        assert DiurnalArrivals(2.0, 5.0).mean_qps() == pytest.approx(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(low_qps=0, high_qps=5)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(phase_duration=0)
+
+
+class TestPiecewise:
+    def test_burst_schedule_rates(self):
+        arrivals = burst_schedule(
+            base_qps=2.0, burst_qps=10.0, burst_start=100.0,
+            burst_duration=50.0,
+        )
+        assert arrivals.rate_at(50.0) == 2.0
+        assert arrivals.rate_at(120.0) == 10.0
+        assert arrivals.rate_at(200.0) == 2.0
+
+    def test_burst_density(self, rng):
+        arrivals = burst_schedule(2.0, 10.0, 100.0, 100.0)
+        times = arrivals.generate(rng, 5000)
+        burst = times[(times >= 100) & (times < 200)]
+        assert len(burst) / 100 == pytest.approx(10.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseArrivals([])
+        with pytest.raises(ValueError):
+            PiecewiseArrivals([(10.0, 2.0), (0.0, 3.0)])
+        with pytest.raises(ValueError):
+            PiecewiseArrivals([(0.0, -1.0)])

@@ -1,0 +1,51 @@
+"""Unit tests for dataset presets (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.datasets import AZURE_CODE, AZURE_CONV, DATASETS, SHAREGPT
+
+
+class TestTable2Fidelity:
+    """Each preset must reproduce the published p50/p90 of Table 2."""
+
+    @pytest.mark.parametrize(
+        "dataset,prompt_p50,prompt_p90,decode_p50,decode_p90",
+        [
+            (SHAREGPT, 1730, 5696, 415, 834),
+            (AZURE_CONV, 928, 3830, 41, 342),
+            (AZURE_CODE, 1930, 6251, 8, 43),
+        ],
+    )
+    def test_percentiles(self, rng, dataset, prompt_p50, prompt_p90,
+                         decode_p50, decode_p90):
+        prompts, decodes = dataset.sample(rng, 40_000)
+        assert np.percentile(prompts, 50) == pytest.approx(
+            prompt_p50, rel=0.06
+        )
+        assert np.percentile(prompts, 90) == pytest.approx(
+            prompt_p90, rel=0.06
+        )
+        assert np.percentile(decodes, 50) == pytest.approx(
+            decode_p50, rel=0.12
+        )
+        assert np.percentile(decodes, 90) == pytest.approx(
+            decode_p90, rel=0.12
+        )
+
+    def test_azcode_is_prefill_dominated(self, rng):
+        """Azure Code is autocomplete: tiny decodes, long prompts."""
+        prompts, decodes = AZURE_CODE.sample(rng, 5000)
+        assert prompts.mean() > 50 * decodes.mean()
+
+    def test_sharegpt_is_decode_heavy(self, rng):
+        _, decodes = SHAREGPT.sample(rng, 5000)
+        assert decodes.mean() > 300
+
+    def test_registry(self):
+        assert set(DATASETS) == {"ShareGPT", "AzConv", "AzCode"}
+        assert DATASETS["AzCode"] is AZURE_CODE
+
+    def test_sample_shapes(self, rng):
+        prompts, decodes = AZURE_CONV.sample(rng, 17)
+        assert len(prompts) == len(decodes) == 17

@@ -1,0 +1,62 @@
+"""Unit tests for length distributions."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.workload.distributions import LognormalLengths, _ppf_standard_normal
+
+
+class TestLognormalFit:
+    def test_sampled_percentiles_match_spec(self, rng):
+        dist = LognormalLengths(p50=1730, p90=5696)
+        samples = dist.sample(rng, 50_000)
+        assert np.percentile(samples, 50) == pytest.approx(1730, rel=0.05)
+        assert np.percentile(samples, 90) == pytest.approx(5696, rel=0.05)
+
+    def test_analytic_percentiles(self):
+        dist = LognormalLengths(p50=928, p90=3830)
+        assert dist.percentile(0.5) == pytest.approx(928)
+        assert dist.percentile(0.9) == pytest.approx(3830)
+
+    def test_samples_are_positive_ints(self, rng):
+        dist = LognormalLengths(p50=8, p90=43)
+        samples = dist.sample(rng, 10_000)
+        assert samples.dtype == np.int64
+        assert (samples >= 1).all()
+
+    def test_max_tokens_clipped(self, rng):
+        dist = LognormalLengths(p50=1000, p90=8000, max_tokens=10_000)
+        samples = dist.sample(rng, 50_000)
+        assert samples.max() <= 10_000
+
+    def test_heavy_tail(self, rng):
+        """p99 well above p90 — the long-request population that the
+        short/long fairness split (Figure 11) depends on."""
+        dist = LognormalLengths(p50=1930, p90=6251)
+        samples = dist.sample(rng, 50_000)
+        assert np.percentile(samples, 99) > 1.5 * np.percentile(samples, 90)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalLengths(p50=0, p90=10)
+        with pytest.raises(ValueError):
+            LognormalLengths(p50=100, p90=50)
+        with pytest.raises(ValueError):
+            LognormalLengths(p50=10, p90=100, max_tokens=50)
+
+    def test_percentile_domain(self):
+        dist = LognormalLengths(p50=100, p90=300)
+        with pytest.raises(ValueError):
+            dist.percentile(0.0)
+        with pytest.raises(ValueError):
+            dist.percentile(1.0)
+
+
+class TestNormalPpf:
+    @pytest.mark.parametrize("q", [0.001, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                   0.9, 0.99, 0.999])
+    def test_matches_scipy(self, q):
+        assert _ppf_standard_normal(q) == pytest.approx(
+            stats.norm.ppf(q), abs=1e-6
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for tier assignment and workload composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.qos import Q1_INTERACTIVE
+from repro.workload.tiers import TierAssigner, TierMix
+
+
+class TestTierMix:
+    def test_equal_thirds(self):
+        mix = TierMix.equal_thirds()
+        assert np.allclose(mix.probabilities, [1 / 3] * 3)
+
+    def test_interactive_heavy(self):
+        mix = TierMix.interactive_heavy()
+        assert np.allclose(mix.probabilities, [0.70, 0.15, 0.15])
+
+    def test_batch_heavy(self):
+        mix = TierMix.batch_heavy()
+        assert np.allclose(mix.probabilities, [0.15, 0.15, 0.70])
+
+    def test_weights_normalized(self):
+        mix = TierMix(weights=(2.0, 2.0, 4.0))
+        assert np.allclose(mix.probabilities, [0.25, 0.25, 0.5])
+
+    def test_custom_single_tier(self):
+        mix = TierMix(
+            tiers=(Q1_INTERACTIVE,), weights=(1.0,), app_names=("chat",)
+        )
+        assert mix.probabilities.tolist() == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierMix(weights=(1.0,))  # length mismatch with 3 tiers
+        with pytest.raises(ValueError):
+            TierMix(weights=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            TierMix(weights=(-1.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            TierMix(tiers=(), weights=(), app_names=())
+
+
+class TestTierAssigner:
+    def test_composition_realized(self, rng):
+        assigner = TierAssigner(TierMix(weights=(0.7, 0.15, 0.15)))
+        tiers, _ = assigner.assign(rng, 20_000)
+        counts = np.bincount(tiers, minlength=3) / 20_000
+        assert counts[0] == pytest.approx(0.7, abs=0.02)
+        assert counts[1] == pytest.approx(0.15, abs=0.02)
+
+    def test_low_priority_fraction(self, rng):
+        assigner = TierAssigner(low_priority_fraction=0.2)
+        _, important = assigner.assign(rng, 20_000)
+        assert (~important).mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_default_all_important(self, rng):
+        assigner = TierAssigner()
+        _, important = assigner.assign(rng, 1000)
+        assert important.all()
+
+    def test_accessors(self):
+        assigner = TierAssigner()
+        assert assigner.tier(0).name == "Q1"
+        assert assigner.app_name(0) == "chat"
+        assert assigner.app_name(2) == "email-insights"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierAssigner(low_priority_fraction=1.5)

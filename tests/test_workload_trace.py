@@ -1,0 +1,113 @@
+"""Unit tests for trace assembly and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.datasets import AZURE_CODE, AZURE_CONV
+from repro.workload.tiers import TierAssigner
+from repro.workload.trace import Trace, TraceBuilder
+
+
+def build(n=200, qps=2.0, seed=0, dataset=AZURE_CODE):
+    return TraceBuilder(
+        dataset,
+        arrivals=PoissonArrivals(qps),
+        tier_assigner=TierAssigner(low_priority_fraction=0.2),
+        seed=seed,
+    ).build(n)
+
+
+class TestBuilder:
+    def test_builds_requested_count(self):
+        assert len(build(123)) == 123
+
+    def test_sorted_by_arrival(self):
+        trace = build(300)
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_given_seed(self):
+        a, b = build(seed=5), build(seed=5)
+        for ra, rb in zip(a, b):
+            assert ra.prompt_tokens == rb.prompt_tokens
+            assert ra.arrival_time == rb.arrival_time
+            assert ra.qos.name == rb.qos.name
+
+    def test_different_seeds_differ(self):
+        a, b = build(seed=1), build(seed=2)
+        assert any(
+            ra.prompt_tokens != rb.prompt_tokens for ra, rb in zip(a, b)
+        )
+
+    def test_tier_fields_consistent(self):
+        for r in build(200):
+            if r.qos.name == "Q1":
+                assert r.app_id == "chat"
+                assert r.is_interactive
+
+    def test_unique_ids(self):
+        trace = build(200)
+        assert len({r.request_id for r in trace}) == 200
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TraceBuilder(AZURE_CODE).build(0)
+
+
+class TestTraceOperations:
+    def test_duration(self):
+        trace = build(100, qps=2.0)
+        expected = trace[len(trace) - 1].arrival_time - trace[0].arrival_time
+        assert trace.duration == pytest.approx(expected)
+
+    def test_fresh_copy_resets_state(self):
+        trace = build(10)
+        trace[0].prefill_done = 50
+        fresh = trace.fresh_copy()
+        assert fresh[0].prefill_done == 0
+        assert fresh[0].prompt_tokens == trace[0].prompt_tokens
+
+    def test_scaled_arrivals_divides_gaps(self):
+        trace = build(50, qps=1.0)
+        scaled = trace.scaled_arrivals(2.0)
+        for original, faster in zip(trace, scaled):
+            assert faster.arrival_time == pytest.approx(
+                original.arrival_time / 2.0
+            )
+            assert faster.prompt_tokens == original.prompt_tokens
+
+    def test_scaled_arrivals_validation(self):
+        with pytest.raises(ValueError):
+            build(10).scaled_arrivals(0.0)
+
+    def test_indexing_and_iteration(self):
+        trace = build(5)
+        assert trace[0] is list(iter(trace))[0]
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        trace = build(50, dataset=AZURE_CONV)
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        loaded = Trace.from_json(path)
+        assert len(loaded) == len(trace)
+        assert loaded.dataset_name == trace.dataset_name
+        for a, b in zip(trace, loaded):
+            assert a.request_id == b.request_id
+            assert a.arrival_time == b.arrival_time
+            assert a.prompt_tokens == b.prompt_tokens
+            assert a.decode_tokens == b.decode_tokens
+            assert a.qos == b.qos
+            assert a.important == b.important
+
+    def test_loaded_qos_objects_shared(self, tmp_path):
+        trace = build(50)
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        loaded = Trace.from_json(path)
+        q1_specs = {
+            id(r.qos) for r in loaded if r.qos.name == "Q1"
+        }
+        assert len(q1_specs) == 1  # cache dedupes identical specs
