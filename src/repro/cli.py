@@ -5,6 +5,16 @@ Usage::
     python -m repro list
     python -m repro run fig04 [--scale smoke|bench|full] [--out FILE]
     python -m repro run all --scale smoke
+    python -m repro run fig09 --trace-out run.jsonl --metrics-out run.prom
+    python -m repro trace run.jsonl --chrome run_chrome.json
+    python -m repro trace run.jsonl --validate
+
+``--trace-out`` records every engine built during the run through the
+:mod:`repro.obs` subsystem (iteration-level JSONL events);
+``--metrics-out`` dumps the aggregated Prometheus-text metrics.  The
+``trace`` command post-processes a recorded JSONL file: schema
+validation, per-request timeline table, and conversion to Chrome
+trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -125,10 +135,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-y", action="store_true",
         help="log-scale the --plot y axis",
     )
+    run_parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record an iteration-level JSONL trace of every "
+             "simulated engine to FILE",
+    )
+    run_parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write aggregated metrics in Prometheus text format "
+             "to FILE after the run",
+    )
+    trace_parser = sub.add_parser(
+        "trace", help="inspect / convert a recorded JSONL trace"
+    )
+    trace_parser.add_argument(
+        "trace", type=Path, help="JSONL trace recorded via --trace-out",
+    )
+    trace_parser.add_argument(
+        "--chrome", type=Path, default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON (open in Perfetto or "
+             "chrome://tracing)",
+    )
+    trace_parser.add_argument(
+        "--validate", action="store_true",
+        help="check every event against the trace schema; non-zero "
+             "exit on the first mismatch",
+    )
+    trace_parser.add_argument(
+        "--timeline", action="store_true",
+        help="print the per-request timeline table (default when no "
+             "other action is requested)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. piped into `head`); behave
+        # like a Unix filter: point the fd at devnull so the interpreter
+        # does not complain again at shutdown, exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     registry = _registry()
 
@@ -148,6 +202,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"report written to {path}")
         return 0
 
+    if args.command == "trace":
+        return _trace_command(args)
+
     names = list(args.experiments)
     if names == ["all"]:
         names = list(registry)
@@ -159,31 +216,104 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     scale = SCALES[args.scale]
+    try:
+        observer = _install_observer(args)
+    except OSError as error:
+        print(f"cannot open --trace-out: {error}", file=sys.stderr)
+        return 1
     exit_code = 0
-    for name in names:
-        description, run = registry[name]
-        print(f"--- {name}: {description} (scale={args.scale}) ---")
-        started = time.time()
-        results = run(scale)
-        elapsed = time.time() - started
-        for result in results:
-            text = result.render()
-            print(text)
-            print()
-            if args.plot is not None:
-                from repro.experiments.plotting import plot_result
-
-                try:
-                    print(plot_result(result, args.plot,
-                                      log_y=args.log_y))
-                except KeyError as error:
-                    print(f"(plot skipped: {error})")
+    try:
+        for name in names:
+            description, run = registry[name]
+            print(f"--- {name}: {description} (scale={args.scale}) ---")
+            started = time.time()
+            results = run(scale)
+            elapsed = time.time() - started
+            for result in results:
+                text = result.render()
+                print(text)
                 print()
-            if args.out is not None:
-                with args.out.open("a") as sink:
-                    sink.write(text + "\n\n")
-        print(f"[{name} done in {elapsed:.1f}s]")
+                if args.plot is not None:
+                    from repro.experiments.plotting import plot_result
+
+                    try:
+                        print(plot_result(result, args.plot,
+                                          log_y=args.log_y))
+                    except KeyError as error:
+                        print(f"(plot skipped: {error})")
+                    print()
+                if args.out is not None:
+                    with args.out.open("a") as sink:
+                        sink.write(text + "\n\n")
+            print(f"[{name} done in {elapsed:.1f}s]")
+    finally:
+        try:
+            _teardown_observer(observer, args)
+        except OSError as error:
+            print(f"cannot write observability output: {error}",
+                  file=sys.stderr)
+            exit_code = 1
     return exit_code
+
+
+def _install_observer(args):
+    """Enable process-wide tracing when ``run`` asked for outputs."""
+    if args.trace_out is None and args.metrics_out is None:
+        return None
+    from repro.obs import (
+        JSONLSink,
+        TraceRecorder,
+        TracingObserver,
+        set_default_observer,
+    )
+
+    sinks = [JSONLSink(args.trace_out)] if args.trace_out else []
+    observer = TracingObserver(recorder=TraceRecorder(sinks))
+    set_default_observer(observer)
+    return observer
+
+
+def _teardown_observer(observer, args) -> None:
+    if observer is None:
+        return
+    from repro.obs import set_default_observer
+
+    set_default_observer(None)
+    observer.close()
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out} "
+              f"({observer.recorder.total_events} events)")
+    if args.metrics_out is not None:
+        observer.registry.write_prometheus(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+
+
+def _trace_command(args) -> int:
+    """Implement ``repro trace``: validate / convert / tabulate."""
+    from repro.obs import (
+        TraceSchemaError,
+        read_jsonl_trace,
+        render_timeline,
+        write_chrome_trace,
+    )
+
+    try:
+        events = read_jsonl_trace(args.trace, validate=args.validate)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    except (TraceSchemaError, ValueError) as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.trace}: {len(events)} events, schema ok")
+    if args.chrome is not None:
+        write_chrome_trace(events, args.chrome)
+        print(f"chrome trace written to {args.chrome} "
+              f"(open in Perfetto or chrome://tracing)")
+    if args.timeline or (not args.validate and args.chrome is None):
+        print(render_timeline(events))
+    return 0
 
 
 if __name__ == "__main__":

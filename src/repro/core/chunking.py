@@ -16,6 +16,8 @@ from typing import Iterable
 
 from repro.core.predictor import BatchLatencyPredictor
 from repro.core.request import Request
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.timing import timed
 from repro.perfmodel.execution import BatchShape, PrefillChunk
 
 
@@ -63,6 +65,9 @@ class DynamicChunker:
         self.max_chunk = int(max_chunk)
         self.ni_pace_floor = float(ni_pace_floor)
         self.search_tolerance = max(1, int(search_tolerance))
+        #: Observability hooks; every chosen budget is reported via
+        #: :meth:`Observer.on_chunk_sized` (no-op by default).
+        self.observer: Observer = NULL_OBSERVER
 
     def latency_budget(
         self, now: float, decode_requests: Iterable[Request]
@@ -93,6 +98,7 @@ class DynamicChunker:
                 budget = slack
         return budget
 
+    @timed("chunker.prefill_budget")
     def prefill_budget(
         self,
         now: float,
@@ -148,6 +154,11 @@ class DynamicChunker:
                 )
             )
 
+        decision = self._decide(budget, predict)
+        self.observer.on_chunk_sized(now, decision, num_decodes)
+        return decision
+
+    def _decide(self, budget: float, predict) -> ChunkDecision:
         top = self.max_chunk
         if budget == float("inf"):
             return ChunkDecision(

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 from repro.core.decode_estimator import DecodeLengthEstimator
 from repro.core.request import Request
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.timing import timed
 
 
 class ViolationChecker:
@@ -116,7 +118,11 @@ class RelegationPolicy:
         self.checker = checker
         self.use_hints = use_hints
         self.max_scan = int(max_scan)
+        #: Observability hooks; each scan reports its outcome via
+        #: :meth:`Observer.on_relegation_scan` (no-op by default).
+        self.observer: Observer = NULL_OBSERVER
 
+    @timed("relegation.plan")
     def plan(self, queue: list[Request], now: float) -> RelegationPlan:
         """Select the requests to demote from a priority-ordered queue.
 
@@ -185,4 +191,5 @@ class RelegationPolicy:
                 removed.add(request.request_id)
             else:
                 cumulative += service
+        self.observer.on_relegation_scan(now, plan)
         return plan

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.request import Request
 from repro.engine.batch import PrefillAssignment
 from repro.engine.kvcache import KVCacheManager
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.perfmodel.execution import ExecutionModel
 
 
@@ -47,6 +48,18 @@ class Scheduler(ABC):
 
     #: Human-readable policy name used in experiment tables.
     name: str = "scheduler"
+
+    #: Observability hooks; the no-op default costs one dispatch per
+    #: notification.  The engine installs its own observer here via
+    #: :meth:`set_observer` so scheduler-level events (relegations,
+    #: chunk sizing) land in the same trace as engine events.
+    observer: Observer = NULL_OBSERVER
+
+    def set_observer(self, observer: Observer) -> None:
+        """Install observability hooks; subclasses that own further
+        instrumented components (chunker, relegation policy) override
+        this to propagate the observer to them."""
+        self.observer = observer
 
     @abstractmethod
     def enqueue(self, request: Request, now: float) -> None:

@@ -28,6 +28,9 @@ class KVCacheManager:
         if self.capacity_blocks < 1:
             raise ValueError("capacity smaller than one block")
         self._used_blocks = 0
+        #: Peak block occupancy over the manager's lifetime — the
+        #: high-water mark observability and capacity planning read.
+        self.high_water_blocks = 0
         # request_id -> (tokens held, blocks held)
         self._holdings: dict[int, tuple[int, int]] = {}
 
@@ -48,6 +51,11 @@ class KVCacheManager:
     def utilization(self) -> float:
         """Fraction of blocks in use."""
         return self._used_blocks / self.capacity_blocks
+
+    @property
+    def high_water_utilization(self) -> float:
+        """Peak fraction of blocks ever in use."""
+        return self.high_water_blocks / self.capacity_blocks
 
     def holding(self, request_id: int) -> int:
         """Tokens currently cached for ``request_id`` (0 if none)."""
@@ -84,6 +92,8 @@ class KVCacheManager:
         tokens, blocks = self._holdings.get(request_id, (0, 0))
         self._holdings[request_id] = (tokens + extra_tokens, blocks + need)
         self._used_blocks += need
+        if self._used_blocks > self.high_water_blocks:
+            self.high_water_blocks = self._used_blocks
 
     def release(self, request_id: int) -> int:
         """Free a request's entire holding; returns blocks released."""

@@ -16,7 +16,7 @@ node).
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -24,6 +24,8 @@ from repro.core.request import Request
 from repro.engine.batch import BatchPlan, IterationRecord, PrefillAssignment
 from repro.engine.interface import EngineView, Scheduler
 from repro.engine.kvcache import KVCacheManager
+from repro.obs.observer import NULL_OBSERVER, Observer, get_default_observer
+from repro.obs.timing import timed
 from repro.perfmodel.execution import ExecutionModel
 from repro.simcore.simulator import Simulator
 
@@ -58,6 +60,7 @@ class ReplicaEngine:
         config: ReplicaConfig | None = None,
         replica_id: int = 0,
         prefill_sink: Callable[[Request, float], None] | None = None,
+        observer: Observer | None = None,
     ) -> None:
         """Args:
         simulator: Shared event loop.
@@ -67,6 +70,10 @@ class ReplicaEngine:
         replica_id: Identifier used in multi-replica deployments.
         prefill_sink: Required in ``prefill_only`` mode — receives
             ``(request, now)`` when a prompt finishes prefilling.
+        observer: Observability hooks (tracing/metrics); ``None``
+            adopts the process default (no-op unless the CLI enabled
+            tracing).  Installed on the scheduler too, so scheduler
+            events land in the same trace.
         """
         self.simulator = simulator
         self.execution_model = execution_model
@@ -76,6 +83,11 @@ class ReplicaEngine:
         if self.config.prefill_only and prefill_sink is None:
             raise ValueError("prefill_only mode requires a prefill_sink")
         self.prefill_sink = prefill_sink
+        self.observer = (
+            observer if observer is not None else get_default_observer()
+        )
+        if self.observer is not NULL_OBSERVER:
+            scheduler.set_observer(self.observer)
 
         self.kv_cache = KVCacheManager(
             capacity_tokens=execution_model.kv_capacity_tokens,
@@ -91,6 +103,12 @@ class ReplicaEngine:
         self.iteration_records: list[IterationRecord] = []
         self.iterations_run = 0
         self.busy_time = 0.0
+        #: Always-on cheap decision counters (one int/dict bump per
+        #: occurrence) feeding ``RunSummary.scheduler_stats`` without
+        #: requiring a tracing observer.
+        self.decode_evictions = 0
+        self.stall_preemptions = 0
+        self.chunk_tokens_hist: Counter[int] = Counter()
         self._busy = False
         # Requests whose prefill has started but not finished; counts
         # against decode slots so admission cannot overshoot.
@@ -184,6 +202,7 @@ class ReplicaEngine:
         if self.has_work():
             self._start_iteration()
 
+    @timed("engine.start_iteration")
     def _start_iteration(self) -> None:
         now = self.simulator.now
         self._reserve_decode_growth()
@@ -222,6 +241,13 @@ class ReplicaEngine:
         exec_time = self.execution_model.batch_time(plan.to_shape())
         self._busy = True
         self.busy_time += exec_time
+        if plan.prefill_tokens > 0:
+            # Decode-only iterations carry no chunk; counting their
+            # zeros would drown the histogram's smallest bucket.
+            self.chunk_tokens_hist[plan.prefill_tokens] += 1
+        self.observer.on_iteration_start(
+            self.replica_id, now, exec_time, plan, self.iterations_run
+        )
         self.simulator.schedule_after(
             exec_time, lambda: self._finish_iteration(plan, exec_time, now)
         )
@@ -270,9 +296,14 @@ class ReplicaEngine:
         if len(holders) < 2:
             return False  # a lone holder gains nothing from eviction
         victim = min(holders, key=lambda r: r.prefill_done)
+        prefill_lost = victim.prefill_done
         self.kv_cache.release(victim.request_id)
         self._inflight_prefills.discard(victim.request_id)
         victim.evict()
+        self.stall_preemptions += 1
+        self.observer.on_preempted(
+            self.replica_id, victim, self.simulator.now, prefill_lost
+        )
         # Park the victim outside the scheduler: re-admitting it right
         # away would let it re-consume the freed blocks before the
         # surviving holder finishes, thrashing forever.
@@ -287,11 +318,17 @@ class ReplicaEngine:
         return max(candidates, key=lambda r: r.next_token_deadline)
 
     def _evict_decode(self, request: Request) -> None:
+        context_lost = request.context_length
         self.kv_cache.release(request.request_id)
         self.decode_queue.remove(request)
         request.evict()
+        self.decode_evictions += 1
+        self.observer.on_decode_evicted(
+            self.replica_id, request, self.simulator.now, context_lost
+        )
         self.scheduler.enqueue(request, self.simulator.now)
 
+    @timed("engine.finish_iteration")
     def _finish_iteration(
         self, plan: BatchPlan, exec_time: float, start_time: float
     ) -> None:
@@ -325,6 +362,9 @@ class ReplicaEngine:
             if request.remaining_prefill == 0:
                 self._on_prefill_finished(request, now)
 
+        self.observer.on_iteration_end(
+            self.replica_id, now, start_time, exec_time, plan, self.kv_cache
+        )
         self._busy = False
         self._maybe_start()
 
@@ -351,6 +391,7 @@ class ReplicaEngine:
             self.decode_queue.remove(request)
         self.kv_cache.release(request.request_id)
         self.completed.append(request)
+        self.observer.on_request_completed(self.replica_id, request, now)
         self.scheduler.on_request_complete(request, now)
         if self._pending_handoffs:
             self._admit_handoffs()

@@ -52,6 +52,7 @@ def run(
                 "qoserve", execution_model, qoserve_config=config
             )
             summary, _ = run_replica_trace(execution_model, scheduler, trace)
+            stats = summary.scheduler_stats
             result.rows.append(
                 {
                     "config": name,
@@ -59,6 +60,8 @@ def run(
                     "median_latency_s": summary.overall_percentiles[0.50],
                     "violations_pct": summary.violations.overall_pct,
                     "relegated_pct": summary.violations.relegated_pct,
+                    "relegated_n": stats["relegations_total"],
+                    "preemptions": stats["preemptions"],
                 }
             )
     return result

@@ -27,7 +27,7 @@ def run(
         AZURE_CONV, qps=qps, num_requests=scale.num_requests, seed=scale.seed
     )
     scheduler = make_scheduler("qoserve", execution_model)
-    _, engine = run_replica_trace(
+    summary, engine = run_replica_trace(
         execution_model, scheduler, trace, record_iterations=True
     )
     records = engine.iteration_records
@@ -50,7 +50,15 @@ def run(
         title="Dynamic chunk size and execution time per batch",
         notes=[
             f"scale={scale.label}; dataset=AzConv; qps={qps}; "
-            f"window of {len(selected)} iterations from batch {start}"
+            f"window of {len(selected)} iterations from batch {start}",
+            "chunk-size distribution over the whole run: "
+            + ", ".join(
+                f"{bucket}={count}"
+                for bucket, count in summary.scheduler_stats[
+                    "chunk_size_histogram"
+                ].items()
+                if count
+            ),
         ],
     )
     for i, record in enumerate(selected):

@@ -9,6 +9,8 @@ from repro.core.qos import DEFAULT_TIERS
 from repro.engine.interface import Scheduler
 from repro.engine.replica import ReplicaConfig, ReplicaEngine
 from repro.metrics.summary import RunSummary, summarize_run
+from repro.obs.metrics import DEFAULT_CHUNK_BUCKETS, bucket_counts
+from repro.obs.observer import Observer
 from repro.perfmodel.execution import ExecutionModel
 from repro.schedulers import (
     ConServeScheduler,
@@ -116,11 +118,14 @@ def run_replica_trace(
     trace: Trace,
     record_iterations: bool = False,
     max_events: int = 50_000_000,
+    observer: Observer | None = None,
 ) -> tuple[RunSummary, ReplicaEngine]:
     """Simulate one replica over a trace and summarize.
 
     The simulation runs to drain (all requests complete); the summary
     is taken at the drain time so every deadline verdict is final.
+    ``observer`` forwards to :class:`ReplicaEngine` (``None`` adopts
+    the process-wide default, usually the no-op observer).
     """
     simulator = Simulator()
     engine = ReplicaEngine(
@@ -128,6 +133,7 @@ def run_replica_trace(
         execution_model,
         scheduler,
         ReplicaConfig(record_iterations=record_iterations),
+        observer=observer,
     )
     for request in trace:
         engine.submit(request)
@@ -138,7 +144,33 @@ def run_replica_trace(
         first_arrival = min(r.arrival_time for r in trace)
         summary.drain_time = simulator.now - last_arrival
         summary.arrival_span = last_arrival - first_arrival
+    summary.scheduler_stats = engine_scheduler_stats(engine)
     return summary, engine
+
+
+def engine_scheduler_stats(engine: ReplicaEngine) -> dict:
+    """Flatten the engine's always-on decision counters for export.
+
+    These come from plain integer counters kept by the engine itself
+    (not the optional :mod:`repro.obs` observer), so they are available
+    — and identical — whether or not tracing is enabled.
+    """
+    relegations_by_tier: dict[str, int] = {}
+    for request in engine.submitted:
+        if request.relegated:
+            tier = request.qos.name
+            relegations_by_tier[tier] = relegations_by_tier.get(tier, 0) + 1
+    return {
+        "relegations_by_tier": dict(sorted(relegations_by_tier.items())),
+        "relegations_total": sum(relegations_by_tier.values()),
+        "preemptions": engine.stall_preemptions,
+        "decode_evictions": engine.decode_evictions,
+        "kv_high_water_utilization": engine.kv_cache.high_water_utilization,
+        "chunk_size_histogram": bucket_counts(
+            engine.chunk_tokens_hist, DEFAULT_CHUNK_BUCKETS
+        ),
+        "iterations": engine.iterations_run,
+    }
 
 
 def goodput_search(

@@ -79,6 +79,7 @@ def summary_to_dict(summary: RunSummary) -> dict[str, Any]:
         "overall_percentiles": {
             str(q): v for q, v in summary.overall_percentiles.items()
         },
+        "scheduler_stats": dict(summary.scheduler_stats),
     }
     return _jsonable(flat)
 
@@ -88,14 +89,20 @@ def summary_to_json(summary: RunSummary, path: str | Path) -> None:
 
 
 def _jsonable(value: Any) -> Any:
-    """Recursively replace NaN/inf (JSON has neither) with strings."""
+    """Recursively replace NaN/inf with ``None`` (JSON ``null``).
+
+    JSON has no token for either; Python's ``json.dumps`` emits the
+    invalid literals ``NaN``/``Infinity`` unless told otherwise, and
+    the former string-placeholder scheme ("nan"/"inf") made numeric
+    columns type-unstable for consumers (a latency column mixing
+    floats and strings).  ``null`` round-trips as the unambiguous
+    "no measurement" marker — exactly what an empty run's undefined
+    ``mean_ttft`` is.
+    """
     if isinstance(value, dict):
         return {k: _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
-    if isinstance(value, float):
-        if math.isnan(value):
-            return "nan"
-        if math.isinf(value):
-            return "inf" if value > 0 else "-inf"
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
     return value

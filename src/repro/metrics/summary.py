@@ -48,6 +48,12 @@ class RunSummary:
     #: quarters of the arrival stream (seconds).  Near zero in steady
     #: state; ramps linearly when the offered load exceeds capacity.
     queue_delay_trend: float = 0.0
+    #: Scheduler-decision counters collected by the engine during the
+    #: run (relegations by tier, preemptions, decode evictions, KV
+    #: high-water utilization, chunk-size histogram).  Filled in by
+    #: :func:`repro.experiments.runner.run_replica_trace`; empty for
+    #: summaries built straight from a request list.
+    scheduler_stats: dict = field(default_factory=dict)
 
     def tier_percentile(self, tier: str, q: float) -> float:
         return self.latency_percentiles_by_tier.get(tier, {}).get(

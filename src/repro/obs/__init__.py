@@ -1,0 +1,100 @@
+"""Iteration-level observability: tracing, metrics and profiling.
+
+The subsystem has four legs (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — a zero-dependency metrics registry
+  (counters / gauges / histograms, labeled series) with Prometheus-text
+  and JSON exporters;
+* :mod:`repro.obs.events` / :mod:`repro.obs.trace` — typed trace
+  events with schema validation, recorded through bounded-memory ring
+  or streaming-JSONL sinks;
+* :mod:`repro.obs.chrome` — a Chrome trace-event exporter
+  (``chrome://tracing`` / Perfetto): replicas as processes, batch
+  slots as tracks;
+* :mod:`repro.obs.timing` — the ``obs.timed`` wall-clock profiler for
+  scheduler hot paths.
+
+Everything hangs off the :class:`Observer` protocol, whose no-op
+default (:data:`NULL_OBSERVER`) keeps instrumentation free when
+disabled and guarantees tracing never perturbs scheduling.
+"""
+
+from repro.obs.chrome import (
+    per_request_timeline,
+    render_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    ChunkSized,
+    DecodeEvicted,
+    IterationScheduled,
+    KVCacheSnapshot,
+    Preempted,
+    Relegated,
+    RequestCompleted,
+    TraceEvent,
+    TraceSchemaError,
+    validate_event,
+)
+from repro.obs.metrics import (
+    DEFAULT_CHUNK_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    bucket_counts,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    TracingObserver,
+    default_observer,
+    get_default_observer,
+    set_default_observer,
+)
+from repro.obs.timing import PROFILER, WallClockProfiler, timed
+from repro.obs.trace import (
+    JSONLSink,
+    ListSink,
+    RingSink,
+    TraceRecorder,
+    read_jsonl_trace,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "ChunkSized",
+    "DecodeEvicted",
+    "IterationScheduled",
+    "KVCacheSnapshot",
+    "Preempted",
+    "Relegated",
+    "RequestCompleted",
+    "TraceEvent",
+    "TraceSchemaError",
+    "validate_event",
+    "DEFAULT_CHUNK_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "bucket_counts",
+    "NULL_OBSERVER",
+    "Observer",
+    "TracingObserver",
+    "default_observer",
+    "get_default_observer",
+    "set_default_observer",
+    "PROFILER",
+    "WallClockProfiler",
+    "timed",
+    "JSONLSink",
+    "ListSink",
+    "RingSink",
+    "TraceRecorder",
+    "read_jsonl_trace",
+    "per_request_timeline",
+    "render_timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,237 @@
+"""Chrome trace-event (``chrome://tracing`` / Perfetto) export.
+
+Converts a recorded event stream into the Trace Event Format that
+Perfetto and ``chrome://tracing`` load directly:
+
+* each **replica** becomes a process (``pid``), named via metadata;
+* track 0 of every replica holds the **iteration spans** — one
+  complete (``ph: "X"``) event per engine batch, with the batch shape
+  in ``args``;
+* every **request lifetime** (first scheduling to completion) becomes
+  a span on a **batch-slot track**: slots are allocated greedily and
+  reused once free, so the track count equals the peak concurrency —
+  visually, the replica's occupancy;
+* relegations, preemptions and decode evictions render as instant
+  (``ph: "i"``) markers;
+* KV-cache occupancy renders as a counter (``ph: "C"``) series.
+
+Timestamps are simulated seconds scaled to microseconds, the unit the
+Trace Event Format mandates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+_US = 1e6  # seconds -> trace-format microseconds
+
+
+def _meta(pid: int, tid: int | None, name: str, what: str) -> dict:
+    event: dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": what,
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def to_chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Build a Chrome trace JSON object from serialized events."""
+    events = list(events)
+    trace_events: list[dict[str, Any]] = []
+    replicas: set[int] = set()
+
+    # --- iteration spans and instants ---------------------------------
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "iteration_scheduled":
+            pid = int(ev["replica_id"])
+            replicas.add(pid)
+            trace_events.append({
+                "name": "iteration",
+                "cat": "engine",
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "ts": ev["ts"] * _US,
+                "dur": max(0.0, (ev["dur"] or 0.0)) * _US,
+                "args": {
+                    "iteration": ev["iteration"],
+                    "prefill_tokens": ev["prefill_tokens"],
+                    "num_prefills": ev["num_prefills"],
+                    "num_decodes": ev["num_decodes"],
+                    "decode_context_tokens": ev["decode_context_tokens"],
+                },
+            })
+        elif kind == "kv_cache_snapshot":
+            pid = int(ev["replica_id"])
+            replicas.add(pid)
+            trace_events.append({
+                "name": "kv_used_blocks",
+                "cat": "kv",
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": ev["ts"] * _US,
+                "args": {"used_blocks": ev["used_blocks"]},
+            })
+        elif kind in ("preempted", "decode_evicted", "relegated"):
+            pid = int(ev.get("replica_id", 0))
+            replicas.add(pid)
+            trace_events.append({
+                "name": kind,
+                "cat": "scheduler",
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "pid": pid,
+                "tid": 0,
+                "ts": ev["ts"] * _US,
+                "args": {
+                    k: v for k, v in ev.items()
+                    if k not in ("kind", "ts", "replica_id")
+                },
+            })
+
+    # --- request lifetimes on batch-slot tracks ------------------------
+    slot_count: dict[int, int] = {}
+    spans = sorted(
+        (ev for ev in events if ev.get("kind") == "request_completed"),
+        key=lambda ev: (
+            ev["scheduled_first_time"]
+            if ev["scheduled_first_time"] is not None
+            else ev["arrival_time"],
+            ev["request_id"],
+        ),
+    )
+    # Greedy slot allocation per replica: reuse the slot that frees
+    # earliest; open a new one only when every slot is still busy.
+    free_slots: dict[int, list[tuple[float, int]]] = {}
+    for ev in spans:
+        pid = int(ev["replica_id"])
+        replicas.add(pid)
+        start = (
+            ev["scheduled_first_time"]
+            if ev["scheduled_first_time"] is not None
+            else ev["arrival_time"]
+        )
+        end = ev["completion_time"]
+        heap = free_slots.setdefault(pid, [])
+        if heap and heap[0][0] <= start:
+            _, slot = heapq.heappop(heap)
+        else:
+            slot = slot_count.get(pid, 0) + 1  # tid 0 = iterations
+            slot_count[pid] = slot
+        heapq.heappush(heap, (end, slot))
+        trace_events.append({
+            "name": f"req {ev['request_id']} [{ev['tier']}]",
+            "cat": "request",
+            "ph": "X",
+            "pid": pid,
+            "tid": slot,
+            "ts": start * _US,
+            "dur": max(0.0, end - start) * _US,
+            "args": {
+                "request_id": ev["request_id"],
+                "tier": ev["tier"],
+                "arrival_time": ev["arrival_time"],
+                "first_token_time": ev["first_token_time"],
+                "relegated": ev["relegated"],
+                "violated": ev["violated"],
+                "evictions": ev["evictions"],
+            },
+        })
+
+    # --- metadata ------------------------------------------------------
+    for pid in sorted(replicas):
+        trace_events.append(
+            _meta(pid, None, f"replica {pid}", "process_name")
+        )
+        trace_events.append(
+            _meta(pid, 0, "iterations", "thread_name")
+        )
+        for slot in range(1, slot_count.get(pid, 0) + 1):
+            trace_events.append(
+                _meta(pid, slot, f"batch slot {slot}", "thread_name")
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "us"},
+    }
+
+
+def write_chrome_trace(
+    events: Iterable[dict[str, Any]], path: str | Path
+) -> None:
+    Path(path).write_text(json.dumps(to_chrome_trace(events)))
+
+
+def per_request_timeline(
+    events: Iterable[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Tabular per-request view of a trace (``repro trace`` output).
+
+    One row per completed request with its latency anchors; flags for
+    relegation / violation / evictions so anomalies stand out.
+    """
+    rows: list[dict[str, Any]] = []
+    for ev in events:
+        if ev.get("kind") != "request_completed":
+            continue
+        arrival = ev["arrival_time"]
+        sched = ev["scheduled_first_time"]
+        first = ev["first_token_time"]
+        done = ev["completion_time"]
+        rows.append({
+            "request_id": ev["request_id"],
+            "tier": ev["tier"],
+            "replica": ev["replica_id"],
+            "arrival_s": arrival,
+            "queue_s": (sched - arrival) if sched is not None else None,
+            "ttft_s": (first - arrival) if first is not None else None,
+            "ttlt_s": done - arrival,
+            "relegated": ev["relegated"],
+            "violated": ev["violated"],
+            "evictions": ev["evictions"],
+        })
+    rows.sort(key=lambda r: (r["arrival_s"], r["request_id"]))
+    return rows
+
+
+def render_timeline(events: Iterable[dict[str, Any]]) -> str:
+    """Fixed-width rendering of :func:`per_request_timeline`."""
+    rows = per_request_timeline(events)
+    if not rows:
+        return "(no request_completed events in trace)"
+    headers = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [[fmt(row[h]) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(line[i]) for line in table))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in table
+    )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Typed trace events: the vocabulary of iteration-level telemetry.
+
+Every scheduling-relevant occurrence in a simulated run maps to one of
+the dataclasses below.  Events serialize to flat JSON objects via
+:meth:`TraceEvent.to_dict` (one object per JSONL line) and the same
+schema drives :func:`validate_event`, which the CI smoke test and the
+``repro trace --validate`` command use to keep recorded traces honest.
+
+Design constraints:
+
+* events are immutable and carry only plain scalars / tuples, so
+  recording can never alias mutable engine state;
+* non-finite floats are serialized as ``null`` (JSON has no ``NaN``);
+* the ``kind`` discriminator is stable across versions — downstream
+  tooling switches on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import types
+import typing
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+
+class TraceSchemaError(ValueError):
+    """A serialized event does not match the declared schema."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: every event has a simulated timestamp ``ts``."""
+
+    kind: ClassVar[str] = "event"
+
+    ts: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe payload with the ``kind`` discriminator."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, float) and not math.isfinite(value):
+                value = None
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[field.name] = value
+        return payload
+
+
+@dataclass(frozen=True)
+class IterationScheduled(TraceEvent):
+    """One engine iteration was planned and dispatched.
+
+    ``dur`` is the execution model's batch time, known at dispatch
+    (the simulator advances by exactly this much), so the event doubles
+    as a complete span for the Chrome-trace exporter.
+    """
+
+    kind: ClassVar[str] = "iteration_scheduled"
+
+    replica_id: int
+    iteration: int
+    dur: float
+    prefill_tokens: int
+    num_prefills: int
+    num_decodes: int
+    decode_context_tokens: int
+    prefill_request_ids: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ChunkSized(TraceEvent):
+    """The dynamic chunker converted decode slack into a token budget."""
+
+    kind: ClassVar[str] = "chunk_sized"
+
+    chunk_budget: int
+    latency_budget: float | None
+    predicted_latency: float
+    num_decodes: int
+
+
+@dataclass(frozen=True)
+class Relegated(TraceEvent):
+    """Eager relegation demoted a request behind all regular work."""
+
+    kind: ClassVar[str] = "relegated"
+
+    request_id: int
+    tier: str
+    important: bool
+    remaining_prefill: int
+
+
+@dataclass(frozen=True)
+class Preempted(TraceEvent):
+    """A partial prefill lost its KV to break a memory deadlock."""
+
+    kind: ClassVar[str] = "preempted"
+
+    replica_id: int
+    request_id: int
+    prefill_tokens_lost: int
+
+
+@dataclass(frozen=True)
+class DecodeEvicted(TraceEvent):
+    """A decoding request was evicted under KV pressure (recompute)."""
+
+    kind: ClassVar[str] = "decode_evicted"
+
+    replica_id: int
+    request_id: int
+    context_tokens_lost: int
+
+
+@dataclass(frozen=True)
+class RequestCompleted(TraceEvent):
+    """A request produced its final token.
+
+    Carries the full latency anchor set so the Chrome exporter can
+    render the request's lifetime span without joining other events.
+    """
+
+    kind: ClassVar[str] = "request_completed"
+
+    replica_id: int
+    request_id: int
+    tier: str
+    arrival_time: float
+    scheduled_first_time: float | None
+    first_token_time: float | None
+    completion_time: float
+    relegated: bool
+    violated: bool
+    evictions: int
+
+
+@dataclass(frozen=True)
+class KVCacheSnapshot(TraceEvent):
+    """Point-in-time KV occupancy of one replica."""
+
+    kind: ClassVar[str] = "kv_cache_snapshot"
+
+    replica_id: int
+    used_blocks: int
+    capacity_blocks: int
+    utilization: float
+
+
+#: kind -> event class, the closed registry of trace event types.
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        IterationScheduled,
+        ChunkSized,
+        Relegated,
+        Preempted,
+        DecodeEvicted,
+        RequestCompleted,
+        KVCacheSnapshot,
+    )
+}
+
+
+def _checkers(cls: type[TraceEvent]) -> dict[str, tuple[type, ...]]:
+    """Per-field accepted runtime types, derived from annotations."""
+    out: dict[str, tuple[type, ...]] = {}
+    hints = typing.get_type_hints(cls)
+    for field in dataclasses.fields(cls):
+        hint = hints[field.name]
+        origin = typing.get_origin(hint)
+        accepted: tuple[type, ...]
+        if origin is typing.Union or origin is types.UnionType:
+            members = [a for a in typing.get_args(hint)
+                       if a is not type(None)]
+            accepted = tuple(
+                t for m in members for t in _scalar_types(m)
+            ) + (type(None),)
+        else:
+            accepted = _scalar_types(hint)
+        out[field.name] = accepted
+    return out
+
+
+def _scalar_types(hint: Any) -> tuple[type, ...]:
+    origin = typing.get_origin(hint)
+    if hint is float:
+        return (int, float)
+    if hint is int:
+        return (int,)
+    if hint is bool:
+        return (bool,)
+    if hint is str:
+        return (str,)
+    if origin in (tuple, list) or hint in (tuple, list):
+        return (list, tuple)
+    return (object,)
+
+
+_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
+    kind: _checkers(cls) for kind, cls in EVENT_TYPES.items()
+}
+
+
+def validate_event(payload: dict[str, Any]) -> None:
+    """Raise :class:`TraceSchemaError` unless ``payload`` is a valid
+    serialized event (exact field set, JSON-compatible types)."""
+    if not isinstance(payload, dict):
+        raise TraceSchemaError(f"event must be an object, got {payload!r}")
+    kind = payload.get("kind")
+    if kind not in _SCHEMA:
+        raise TraceSchemaError(f"unknown event kind {kind!r}")
+    schema = _SCHEMA[kind]
+    missing = set(schema) - set(payload)
+    if missing:
+        raise TraceSchemaError(f"{kind}: missing fields {sorted(missing)}")
+    extra = set(payload) - set(schema) - {"kind"}
+    if extra:
+        raise TraceSchemaError(f"{kind}: unexpected fields {sorted(extra)}")
+    for name, accepted in schema.items():
+        value = payload[name]
+        # bool passes isinstance(..., int); keep them distinct except
+        # where bool is the declared type.
+        if isinstance(value, bool) and bool not in accepted:
+            raise TraceSchemaError(
+                f"{kind}.{name}: bool not accepted, got {value!r}"
+            )
+        if not isinstance(value, accepted):
+            raise TraceSchemaError(
+                f"{kind}.{name}: expected {accepted}, got {value!r}"
+            )
+        if (
+            isinstance(value, float)
+            and not isinstance(value, bool)
+            and not math.isfinite(value)
+        ):
+            raise TraceSchemaError(
+                f"{kind}.{name}: non-finite float {value!r}"
+            )

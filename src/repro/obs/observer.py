@@ -1,0 +1,358 @@
+"""The observability seam between the engine and the recorders.
+
+:class:`Observer` is the single protocol the engine, schedulers,
+chunker and relegation policy call into.  The base class is a no-op on
+every hook, so instrumentation costs one dynamic dispatch when
+observability is off, and — critically — an observer can never change
+scheduling behaviour: hooks receive read-only facts *after* each
+decision and return nothing, keeping the simulation deterministic with
+or without tracing.
+
+:class:`TracingObserver` is the production implementation: it turns
+hooks into typed :mod:`~repro.obs.events` pushed at a
+:class:`~repro.obs.trace.TraceRecorder`, and into series in a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+A process-wide default (see :func:`set_default_observer`) lets the
+experiment CLI enable tracing for *every* engine built during a run
+without threading an argument through each experiment driver.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs.events import (
+    ChunkSized,
+    DecodeEvicted,
+    IterationScheduled,
+    KVCacheSnapshot,
+    Preempted,
+    Relegated,
+    RequestCompleted,
+)
+from repro.obs.metrics import (
+    DEFAULT_CHUNK_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.chunking import ChunkDecision
+    from repro.core.relegation import RelegationPlan
+    from repro.core.request import Request
+    from repro.engine.batch import BatchPlan
+    from repro.engine.kvcache import KVCacheManager
+
+
+class Observer:
+    """No-op observability hooks; subclass and override what you need.
+
+    Hooks fire *after* the decision they describe.  Implementations
+    must not mutate any argument: requests, plans and the KV manager
+    are the engine's live state, shared for cheapness, and tracing is
+    required to be side-effect-free (the determinism regression test
+    pins this).
+    """
+
+    def on_iteration_start(
+        self,
+        replica_id: int,
+        now: float,
+        exec_time: float,
+        plan: "BatchPlan",
+        iteration: int,
+    ) -> None:
+        """An iteration was planned; it will finish at ``now + exec_time``."""
+
+    def on_iteration_end(
+        self,
+        replica_id: int,
+        now: float,
+        start_time: float,
+        exec_time: float,
+        plan: "BatchPlan",
+        kv_cache: "KVCacheManager",
+    ) -> None:
+        """The iteration dispatched at ``start_time`` completed."""
+
+    def on_chunk_sized(
+        self, now: float, decision: "ChunkDecision", num_decodes: int
+    ) -> None:
+        """The dynamic chunker converted slack into a token budget."""
+
+    def on_relegated(self, request: "Request", now: float) -> None:
+        """Eager relegation demoted ``request``."""
+
+    def on_relegation_scan(
+        self, now: float, plan: "RelegationPlan"
+    ) -> None:
+        """A relegation feasibility scan finished (may be empty)."""
+
+    def on_preempted(
+        self,
+        replica_id: int,
+        request: "Request",
+        now: float,
+        prefill_tokens_lost: int,
+    ) -> None:
+        """A partial prefill lost its KV to break a memory deadlock."""
+
+    def on_decode_evicted(
+        self,
+        replica_id: int,
+        request: "Request",
+        now: float,
+        context_tokens_lost: int,
+    ) -> None:
+        """A decode was evicted (recompute) under KV pressure."""
+
+    def on_request_completed(
+        self, replica_id: int, request: "Request", now: float
+    ) -> None:
+        """``request`` produced its final output token."""
+
+
+#: Shared no-op instance — the default everywhere an observer plugs in.
+NULL_OBSERVER = Observer()
+
+
+class TracingObserver(Observer):
+    """Records typed events and metric series from the hook stream.
+
+    Args:
+        recorder: Destination for trace events; a fresh recorder with
+            no sinks is created when omitted (metrics-only mode).
+        registry: Metrics registry; created when omitted.
+        kv_snapshot_every: Emit a :class:`KVCacheSnapshot` event every
+            Nth iteration per replica (1 = every iteration).  Metrics
+            gauges update every iteration regardless.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder | None = None,
+        registry: MetricsRegistry | None = None,
+        kv_snapshot_every: int = 1,
+    ) -> None:
+        if kv_snapshot_every < 1:
+            raise ValueError("kv_snapshot_every must be >= 1")
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.kv_snapshot_every = int(kv_snapshot_every)
+        self._iters_since_snapshot: dict[int, int] = {}
+
+        reg = self.registry
+        self._iterations = reg.counter(
+            "repro_iterations_total",
+            "Engine iterations executed", ("replica",),
+        )
+        self._prefill_tokens = reg.counter(
+            "repro_prefill_tokens_total",
+            "Prompt tokens processed", ("replica",),
+        )
+        self._decode_tokens = reg.counter(
+            "repro_decode_tokens_total",
+            "Output tokens produced by batched decodes", ("replica",),
+        )
+        self._exec_seconds = reg.histogram(
+            "repro_iteration_exec_seconds",
+            "Per-iteration batch execution time",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._chunk_hist = reg.histogram(
+            "repro_chunk_size_tokens",
+            "Prefill token budget chosen per iteration",
+            buckets=DEFAULT_CHUNK_BUCKETS,
+        )
+        self._kv_utilization = reg.gauge(
+            "repro_kv_utilization",
+            "KV-cache block utilization (gauge; max tracked)",
+            ("replica",),
+        )
+        self._relegations = reg.counter(
+            "repro_relegations_total",
+            "Requests demoted by eager relegation", ("tier",),
+        )
+        self._relegation_scans = reg.counter(
+            "repro_relegation_scans_total",
+            "Relegation feasibility scans run",
+        )
+        self._important_saved = reg.counter(
+            "repro_relegation_important_saved_total",
+            "Important requests saved by demoting free-tier work",
+        )
+        self._preemptions = reg.counter(
+            "repro_preemptions_total",
+            "Prefill preemptions (stall-recovery KV reclaims)",
+            ("replica",),
+        )
+        self._decode_evictions = reg.counter(
+            "repro_decode_evictions_total",
+            "Decode evictions under KV pressure", ("replica",),
+        )
+        self._completed = reg.counter(
+            "repro_requests_completed_total",
+            "Requests that produced their final token",
+            ("tier",),
+        )
+        self._violations = reg.counter(
+            "repro_deadline_violations_total",
+            "Completed requests that missed their governing SLO",
+            ("tier",),
+        )
+
+    # --- engine hooks ----------------------------------------------------
+
+    def on_iteration_start(
+        self, replica_id, now, exec_time, plan, iteration
+    ) -> None:
+        prefill_tokens = plan.prefill_tokens
+        self.recorder.emit(IterationScheduled(
+            ts=now,
+            replica_id=replica_id,
+            iteration=iteration,
+            dur=exec_time,
+            prefill_tokens=prefill_tokens,
+            num_prefills=len(plan.prefill_assignments),
+            num_decodes=len(plan.decode_requests),
+            decode_context_tokens=sum(
+                r.context_length for r in plan.decode_requests
+            ),
+            prefill_request_ids=tuple(
+                a.request.request_id for a in plan.prefill_assignments
+            ),
+        ))
+        replica = str(replica_id)
+        self._iterations.labels(replica).inc()
+        self._prefill_tokens.labels(replica).inc(prefill_tokens)
+        self._decode_tokens.labels(replica).inc(len(plan.decode_requests))
+        self._exec_seconds.observe(exec_time)
+        self._chunk_hist.observe(prefill_tokens)
+
+    def on_iteration_end(
+        self, replica_id, now, start_time, exec_time, plan, kv_cache
+    ) -> None:
+        self._kv_utilization.labels(str(replica_id)).set(
+            kv_cache.utilization
+        )
+        since = self._iters_since_snapshot.get(replica_id, 0) + 1
+        if since >= self.kv_snapshot_every:
+            self._iters_since_snapshot[replica_id] = 0
+            self.recorder.emit(KVCacheSnapshot(
+                ts=now,
+                replica_id=replica_id,
+                used_blocks=kv_cache.used_blocks,
+                capacity_blocks=kv_cache.capacity_blocks,
+                utilization=kv_cache.utilization,
+            ))
+        else:
+            self._iters_since_snapshot[replica_id] = since
+
+    # --- scheduler / core hooks ------------------------------------------
+
+    def on_chunk_sized(self, now, decision, num_decodes) -> None:
+        self.recorder.emit(ChunkSized(
+            ts=now,
+            chunk_budget=decision.prefill_budget,
+            latency_budget=decision.latency_budget,
+            predicted_latency=decision.predicted_latency,
+            num_decodes=num_decodes,
+        ))
+
+    def on_relegated(self, request, now) -> None:
+        self.recorder.emit(Relegated(
+            ts=now,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            important=request.important,
+            remaining_prefill=request.remaining_prefill,
+        ))
+        self._relegations.labels(request.qos.name).inc()
+
+    def on_relegation_scan(self, now, plan) -> None:
+        self._relegation_scans.inc()
+        if plan.important_saved:
+            self._important_saved.inc(plan.important_saved)
+
+    def on_preempted(
+        self, replica_id, request, now, prefill_tokens_lost
+    ) -> None:
+        self.recorder.emit(Preempted(
+            ts=now,
+            replica_id=replica_id,
+            request_id=request.request_id,
+            prefill_tokens_lost=prefill_tokens_lost,
+        ))
+        self._preemptions.labels(str(replica_id)).inc()
+
+    def on_decode_evicted(
+        self, replica_id, request, now, context_tokens_lost
+    ) -> None:
+        self.recorder.emit(DecodeEvicted(
+            ts=now,
+            replica_id=replica_id,
+            request_id=request.request_id,
+            context_tokens_lost=context_tokens_lost,
+        ))
+        self._decode_evictions.labels(str(replica_id)).inc()
+
+    def on_request_completed(self, replica_id, request, now) -> None:
+        violated = request.violated_deadline
+        self.recorder.emit(RequestCompleted(
+            ts=now,
+            replica_id=replica_id,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            arrival_time=request.arrival_time,
+            scheduled_first_time=request.scheduled_first_time,
+            first_token_time=request.first_token_time,
+            completion_time=(
+                request.completion_time
+                if request.completion_time is not None
+                else now
+            ),
+            relegated=request.relegated,
+            violated=violated,
+            evictions=request.evictions,
+        ))
+        tier = request.qos.name
+        self._completed.labels(tier).inc()
+        if violated:
+            self._violations.labels(tier).inc()
+
+    def close(self) -> None:
+        self.recorder.close()
+
+
+# --- process-wide default observer ------------------------------------
+
+_DEFAULT_OBSERVER: Observer = NULL_OBSERVER
+
+
+def get_default_observer() -> Observer:
+    """The observer engines adopt when none is passed explicitly."""
+    return _DEFAULT_OBSERVER
+
+
+def set_default_observer(observer: Observer | None) -> Observer:
+    """Install a process-wide default observer; returns the previous one.
+
+    Pass ``None`` to restore the no-op default.
+    """
+    global _DEFAULT_OBSERVER
+    previous = _DEFAULT_OBSERVER
+    _DEFAULT_OBSERVER = observer if observer is not None else NULL_OBSERVER
+    return previous
+
+
+@contextmanager
+def default_observer(observer: Observer) -> Iterator[Observer]:
+    """Scoped :func:`set_default_observer` (restores on exit)."""
+    previous = set_default_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_default_observer(previous)

@@ -1,0 +1,127 @@
+"""Wall-clock profiling of scheduler hot paths (``obs.timed``).
+
+The simulator's virtual clock says where *simulated* time goes; this
+module says where *wall-clock* time goes — which scheduler routine is
+actually burning CPU when a sweep is slow.  ``timed`` works both ways:
+
+    @timed("qoserve.plan_prefill")
+    def plan_prefill(self, view): ...
+
+    with timed("replan"):
+        self._replan(now)
+
+Profiling is off by default and gated on one attribute read, so the
+decorated hot paths cost a single flag check per call when disabled —
+the instrumentation stays effectively free.  Enable around a region::
+
+    from repro.obs import PROFILER
+    PROFILER.enable()
+    ...
+    print(PROFILER.report_text())
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Any, Callable
+
+
+class WallClockProfiler:
+    """Accumulates wall-clock totals per named section."""
+
+    __slots__ = ("enabled", "totals", "counts")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def record(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """``{section: {total_s, calls, mean_us}}`` sorted by total."""
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(
+            self.totals, key=self.totals.__getitem__, reverse=True
+        ):
+            calls = self.counts[name]
+            total = self.totals[name]
+            out[name] = {
+                "total_s": total,
+                "calls": calls,
+                "mean_us": (total / calls) * 1e6 if calls else 0.0,
+            }
+        return out
+
+    def report_text(self) -> str:
+        report = self.report()
+        if not report:
+            return "(no timed sections recorded)"
+        lines = [f"{'section':<40} {'total_s':>10} {'calls':>10} "
+                 f"{'mean_us':>10}"]
+        for name, stats in report.items():
+            lines.append(
+                f"{name:<40} {stats['total_s']:>10.4f} "
+                f"{stats['calls']:>10d} {stats['mean_us']:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide profiler every ``timed`` section reports into.
+PROFILER = WallClockProfiler()
+
+
+class timed:
+    """Decorator *and* context manager timing a named section."""
+
+    __slots__ = ("name", "profiler", "_t0")
+
+    def __init__(
+        self, name: str, profiler: WallClockProfiler | None = None
+    ) -> None:
+        self.name = name
+        self.profiler = profiler if profiler is not None else PROFILER
+        self._t0 = 0.0
+
+    # --- decorator form ------------------------------------------------
+
+    def __call__(self, fn: Callable) -> Callable:
+        name = self.name
+        profiler = self.profiler
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not profiler.enabled:
+                return fn(*args, **kwargs)
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.record(name, perf_counter() - t0)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    # --- context-manager form ------------------------------------------
+
+    def __enter__(self) -> "timed":
+        if self.profiler.enabled:
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self.profiler.enabled:
+            self.profiler.record(self.name, perf_counter() - self._t0)

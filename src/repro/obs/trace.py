@@ -1,0 +1,161 @@
+"""Trace recording: bounded-memory and streaming-JSONL sinks.
+
+A :class:`TraceRecorder` fans serialized events out to any number of
+sinks.  The two built-ins cover the common deployments:
+
+* :class:`RingSink` keeps the last N events in memory (flight-recorder
+  mode — always on, negligible cost, inspect after an anomaly);
+* :class:`JSONLSink` streams every event to disk as one JSON object
+  per line, the format ``repro trace`` converts to Chrome trace JSON.
+
+Sinks receive plain dicts (the output of
+:meth:`~repro.obs.events.TraceEvent.to_dict`), never live event or
+request objects, so a slow sink can never alias mutable engine state.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from pathlib import Path
+from typing import Any, Iterable, Protocol
+
+from repro.obs.events import TraceEvent, validate_event
+
+
+class TraceSink(Protocol):
+    """Anything that can accept serialized trace events."""
+
+    def append(self, payload: dict[str, Any]) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class RingSink:
+    """Keep the most recent ``capacity`` events; count what was shed."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self.appended = 0
+
+    def append(self, payload: dict[str, Any]) -> None:
+        self._ring.append(payload)
+        self.appended += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events shed from the front of the ring."""
+        return self.appended - len(self._ring)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        return list(self._ring)
+
+    def close(self) -> None:  # nothing buffered outside the ring
+        pass
+
+
+class ListSink:
+    """Unbounded in-memory sink (tests and short runs)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def append(self, payload: dict[str, Any]) -> None:
+        self.events.append(payload)
+
+    def close(self) -> None:
+        pass
+
+
+class JSONLSink:
+    """Stream events to ``path``, one compact JSON object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = self.path.open("w")
+        self.written = 0
+
+    def append(self, payload: dict[str, Any]) -> None:
+        self._file.write(json.dumps(payload, separators=(",", ":")))
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceRecorder:
+    """Serializes events once and fans them out to every sink."""
+
+    def __init__(self, sinks: Iterable[TraceSink] = ()) -> None:
+        self.sinks: list[TraceSink] = list(sinks)
+        self.counts: Counter[str] = Counter()
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event: TraceEvent) -> None:
+        payload = event.to_dict()
+        self.counts[payload["kind"]] += 1
+        for sink in self.sinks:
+            sink.append(payload)
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl_trace(
+    path: str | Path, validate: bool = False
+) -> list[dict[str, Any]]:
+    """Load a JSONL trace back into event dicts.
+
+    Args:
+        path: File written by :class:`JSONLSink`.
+        validate: Check every event against the schema
+            (:func:`~repro.obs.events.validate_event`); raises
+            :class:`~repro.obs.events.TraceSchemaError` with the
+            offending line number on mismatch.
+    """
+    events: list[dict[str, Any]] = []
+    with Path(path).open() as source:
+        for lineno, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {error}"
+                ) from error
+            if validate:
+                try:
+                    validate_event(payload)
+                except Exception as error:
+                    raise type(error)(
+                        f"{path}:{lineno}: {error}"
+                    ) from error
+            events.append(payload)
+    return events

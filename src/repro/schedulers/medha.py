@@ -24,6 +24,7 @@ from repro.core.predictor import (
 from repro.core.request import Request
 from repro.engine.batch import PrefillAssignment
 from repro.engine.interface import EngineView
+from repro.obs.observer import Observer
 from repro.perfmodel.execution import ExecutionModel
 from repro.schedulers.base import FixedChunkScheduler, pack_prefill_assignments
 
@@ -62,6 +63,10 @@ class MedhaScheduler(FixedChunkScheduler):
             max_chunk=max_chunk_size,
         )
         self.chunk_history: list[int] = []
+
+    def set_observer(self, observer: Observer) -> None:
+        super().set_observer(observer)
+        self._chunker.observer = observer
 
     def priority(self, request: Request, now: float) -> float:
         return request.arrival_time

@@ -39,6 +39,8 @@ from repro.core.relegation import RelegationPolicy, ViolationChecker
 from repro.core.request import Request
 from repro.engine.batch import PrefillAssignment
 from repro.engine.interface import EngineView
+from repro.obs.observer import Observer
+from repro.obs.timing import timed
 from repro.perfmodel.execution import ExecutionModel
 from repro.schedulers.base import FixedChunkScheduler, pack_prefill_assignments
 
@@ -170,6 +172,13 @@ class QoServeScheduler(FixedChunkScheduler):
         self._order_dirty = True
         self._iterations_since_replan = 0
 
+    def set_observer(self, observer: Observer) -> None:
+        """Propagate hooks to the chunker and relegation policy so
+        their decisions land in the same trace as the scheduler's."""
+        super().set_observer(observer)
+        self.chunker.observer = observer
+        self.relegation.observer = observer
+
     # --- priority ---------------------------------------------------------
 
     def priority(self, request: Request, now: float) -> float:
@@ -201,6 +210,7 @@ class QoServeScheduler(FixedChunkScheduler):
         # periodic replan; the packer skips them (no prefill left).
         self._member.pop(request.request_id, None)
 
+    @timed("qoserve.plan_prefill")
     def plan_prefill(self, view: EngineView) -> list[PrefillAssignment]:
         now = view.now
         if not self._member:
@@ -239,6 +249,7 @@ class QoServeScheduler(FixedChunkScheduler):
                     victim.relegated = True
                     victim.relegated_time = now
                     self.relegation_events += 1
+                    self.observer.on_relegated(victim, now)
                 keyed = sorted(
                     ((self.priority(r, now), r) for r in self._member.values()),
                     key=lambda kr: (kr[0], kr[1].request_id),

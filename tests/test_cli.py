@@ -57,3 +57,67 @@ class TestMain:
         stdout = capsys.readouterr().out
         assert "figure-04" in stdout
         assert "figure-04" in out_file.read_text()
+
+
+class TestTraceParser:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "t.jsonl"])
+        assert args.command == "trace"
+        assert str(args.trace) == "t.jsonl"
+        assert args.chrome is None
+        assert not args.validate
+
+    def test_run_trace_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig09", "--trace-out", "t.jsonl",
+             "--metrics-out", "m.prom"]
+        )
+        assert str(args.trace_out) == "t.jsonl"
+        assert str(args.metrics_out) == "m.prom"
+
+
+class TestTracingEndToEnd:
+    def test_run_records_then_trace_converts(self, capsys, tmp_path):
+        """Full loop: run with tracing, then validate + convert."""
+        import json
+
+        trace_file = tmp_path / "run.jsonl"
+        metrics_file = tmp_path / "run.prom"
+        # fig06 actually simulates engines (fig04 is analytic, so it
+        # would record nothing) and finishes in well under a second.
+        code = main(["run", "fig06", "--scale", "smoke",
+                     "--trace-out", str(trace_file),
+                     "--metrics-out", str(metrics_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "metrics written to" in out
+        assert trace_file.stat().st_size > 0
+        assert "repro_iterations_total" in metrics_file.read_text()
+
+        # The default observer must be restored after the run.
+        from repro.obs.observer import NULL_OBSERVER, get_default_observer
+
+        assert get_default_observer() is NULL_OBSERVER
+
+        assert main(["trace", str(trace_file), "--validate"]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+        chrome_file = tmp_path / "chrome.json"
+        assert main(["trace", str(trace_file),
+                     "--chrome", str(chrome_file)]) == 0
+        payload = json.loads(chrome_file.read_text())
+        spans = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert spans
+        for span in spans:
+            for key in ("pid", "tid", "ts", "dur"):
+                assert key in span
+
+        assert main(["trace", str(trace_file), "--timeline"]) == 0
+        assert "request_id" in capsys.readouterr().out
+
+    def test_trace_command_rejects_corrupt_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "bogus", "ts": 0.0}\n')
+        assert main(["trace", str(bad), "--validate"]) == 1
+        assert "invalid trace" in capsys.readouterr().err

@@ -54,11 +54,11 @@ class TestJson:
         assert loaded.notes == original.notes
         assert loaded.rows[0]["scheme"] == "A"
 
-    def test_nan_becomes_string(self, tmp_path):
+    def test_nan_becomes_null(self, tmp_path):
         path = tmp_path / "r.json"
         result_to_json(sample_result(), path)
         payload = json.loads(path.read_text())
-        assert payload["rows"][1]["viol"] == "nan"
+        assert payload["rows"][1]["viol"] is None
 
     def test_summary_dict_structure(self):
         flat = summary_to_dict(sample_summary())
@@ -78,7 +78,18 @@ class TestJson:
     def test_inf_handling(self):
         from repro.metrics.export import _jsonable
 
-        assert _jsonable(float("inf")) == "inf"
-        assert _jsonable(float("-inf")) == "-inf"
-        assert _jsonable({"a": [1.0, float("nan")]}) == {"a": [1.0, "nan"]}
+        assert _jsonable(float("inf")) is None
+        assert _jsonable(float("-inf")) is None
+        assert _jsonable({"a": [1.0, float("nan")]}) == {"a": [1.0, None]}
         assert not math.isnan(_jsonable(1.5))
+
+    def test_empty_run_summary_is_strict_json(self, tmp_path):
+        """An empty run (all-NaN latencies) must emit strict JSON."""
+        path = tmp_path / "empty.json"
+        summary_to_json(summarize_run([]), path)
+        text = path.read_text()
+        payload = json.loads(text)  # parseable at all
+        for bad in ("NaN", "Infinity", '"nan"', '"inf"'):
+            assert bad not in text
+        assert payload["mean_ttft"] is None
+        assert payload["violations"]["overall_pct"] is None

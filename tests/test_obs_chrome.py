@@ -1,0 +1,126 @@
+"""Unit tests for the Chrome trace-event exporter and timeline table."""
+
+import json
+
+from repro.obs.chrome import (
+    per_request_timeline,
+    render_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def sample_events():
+    return [
+        {
+            "kind": "iteration_scheduled", "ts": 1.0, "replica_id": 0,
+            "iteration": 0, "dur": 0.05, "prefill_tokens": 256,
+            "num_prefills": 1, "num_decodes": 2,
+            "decode_context_tokens": 700, "prefill_request_ids": [1],
+        },
+        {
+            "kind": "kv_cache_snapshot", "ts": 1.05, "replica_id": 0,
+            "used_blocks": 40, "capacity_blocks": 100, "utilization": 0.4,
+        },
+        {
+            "kind": "preempted", "ts": 1.1, "replica_id": 0,
+            "request_id": 2, "prefill_tokens_lost": 128,
+        },
+        {
+            "kind": "request_completed", "ts": 3.0, "replica_id": 0,
+            "request_id": 1, "tier": "Q1", "arrival_time": 0.5,
+            "scheduled_first_time": 1.0, "first_token_time": 1.2,
+            "completion_time": 3.0, "relegated": False,
+            "violated": False, "evictions": 0,
+        },
+        {
+            "kind": "request_completed", "ts": 4.0, "replica_id": 0,
+            "request_id": 2, "tier": "Q2", "arrival_time": 0.6,
+            "scheduled_first_time": 1.5, "first_token_time": 2.0,
+            "completion_time": 4.0, "relegated": True,
+            "violated": True, "evictions": 1,
+        },
+        {
+            "kind": "request_completed", "ts": 9.0, "replica_id": 0,
+            "request_id": 3, "tier": "Q3", "arrival_time": 5.0,
+            "scheduled_first_time": 5.5, "first_token_time": 6.0,
+            "completion_time": 9.0, "relegated": False,
+            "violated": False, "evictions": 0,
+        },
+    ]
+
+
+class TestToChromeTrace:
+    def test_iteration_span_shape(self):
+        trace = to_chrome_trace(sample_events())
+        spans = [e for e in trace["traceEvents"]
+                 if e.get("ph") == "X" and e["cat"] == "engine"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["pid"] == 0
+        assert span["tid"] == 0
+        assert span["ts"] == 1.0 * 1e6
+        assert span["dur"] == 0.05 * 1e6
+        assert span["args"]["prefill_tokens"] == 256
+
+    def test_kv_counter_and_instant_markers(self):
+        trace = to_chrome_trace(sample_events())
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert counters[0]["args"]["used_blocks"] == 40
+        instants = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+        assert instants[0]["name"] == "preempted"
+        assert instants[0]["args"]["prefill_tokens_lost"] == 128
+
+    def test_batch_slots_reused_after_free(self):
+        trace = to_chrome_trace(sample_events())
+        request_spans = {
+            e["args"]["request_id"]: e
+            for e in trace["traceEvents"]
+            if e.get("cat") == "request"
+        }
+        # Requests 1 and 2 overlap -> distinct slots; request 3 starts
+        # after both finished -> reuses the earliest-freed slot.
+        assert request_spans[1]["tid"] != request_spans[2]["tid"]
+        assert request_spans[3]["tid"] == request_spans[1]["tid"]
+
+    def test_metadata_names_processes_and_tracks(self):
+        trace = to_chrome_trace(sample_events())
+        meta = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "replica 0") in names
+        assert ("thread_name", "iterations") in names
+        assert ("thread_name", "batch slot 1") in names
+
+    def test_every_complete_event_has_required_keys(self):
+        trace = to_chrome_trace(sample_events())
+        for event in trace["traceEvents"]:
+            if event.get("ph") == "X":
+                for key in ("pid", "tid", "ts", "dur", "name"):
+                    assert key in event
+
+    def test_write_is_loadable_json(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(sample_events(), path)
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestTimeline:
+    def test_rows_sorted_by_arrival(self):
+        rows = per_request_timeline(sample_events())
+        assert [r["request_id"] for r in rows] == [1, 2, 3]
+        first = rows[0]
+        assert first["queue_s"] == 0.5
+        assert first["ttft_s"] == 0.7
+        assert first["ttlt_s"] == 2.5
+
+    def test_render_has_header_and_flags(self):
+        text = render_timeline(sample_events())
+        lines = text.splitlines()
+        assert lines[0].startswith("request_id")
+        assert "yes" in text  # relegated/violated flags rendered
+        assert len(lines) == 2 + 3  # header, rule, three rows
+
+    def test_empty_trace(self):
+        assert "no request_completed" in render_timeline([])

@@ -1,0 +1,173 @@
+"""Unit tests for trace events, sinks, the recorder and the schema."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    ChunkSized,
+    IterationScheduled,
+    RequestCompleted,
+    TraceSchemaError,
+    validate_event,
+)
+from repro.obs.trace import (
+    JSONLSink,
+    ListSink,
+    RingSink,
+    TraceRecorder,
+    read_jsonl_trace,
+)
+
+
+def iteration_event(ts=1.0, replica=0):
+    return IterationScheduled(
+        ts=ts, replica_id=replica, iteration=3, dur=0.05,
+        prefill_tokens=256, num_prefills=1, num_decodes=4,
+        decode_context_tokens=900, prefill_request_ids=(7,),
+    )
+
+
+class TestEvents:
+    def test_to_dict_is_flat_and_typed(self):
+        payload = iteration_event().to_dict()
+        assert payload["kind"] == "iteration_scheduled"
+        assert payload["ts"] == 1.0
+        assert payload["prefill_request_ids"] == [7]
+        # Round-trips through json without custom encoders.
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_non_finite_floats_become_null(self):
+        event = ChunkSized(
+            ts=0.0, chunk_budget=2500,
+            latency_budget=float("inf"),
+            predicted_latency=0.1, num_decodes=0,
+        )
+        assert event.to_dict()["latency_budget"] is None
+
+    def test_every_kind_validates_its_own_serialization(self):
+        samples = {
+            "iteration_scheduled": iteration_event(),
+            "chunk_sized": ChunkSized(
+                ts=0.0, chunk_budget=32, latency_budget=0.02,
+                predicted_latency=0.018, num_decodes=9,
+            ),
+            "request_completed": RequestCompleted(
+                ts=9.0, replica_id=0, request_id=1, tier="Q1",
+                arrival_time=0.5, scheduled_first_time=0.6,
+                first_token_time=0.9, completion_time=9.0,
+                relegated=False, violated=False, evictions=0,
+            ),
+        }
+        for kind, event in samples.items():
+            assert EVENT_TYPES[kind] is type(event)
+            validate_event(event.to_dict())  # must not raise
+
+
+class TestValidateEvent:
+    def test_unknown_kind(self):
+        with pytest.raises(TraceSchemaError, match="unknown event kind"):
+            validate_event({"kind": "bogus", "ts": 0.0})
+
+    def test_missing_field(self):
+        payload = iteration_event().to_dict()
+        del payload["dur"]
+        with pytest.raises(TraceSchemaError, match="missing"):
+            validate_event(payload)
+
+    def test_extra_field(self):
+        payload = iteration_event().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(TraceSchemaError, match="unexpected"):
+            validate_event(payload)
+
+    def test_wrong_type(self):
+        payload = iteration_event().to_dict()
+        payload["prefill_tokens"] = "lots"
+        with pytest.raises(TraceSchemaError, match="expected"):
+            validate_event(payload)
+
+    def test_bool_is_not_an_int(self):
+        payload = iteration_event().to_dict()
+        payload["prefill_tokens"] = True
+        with pytest.raises(TraceSchemaError, match="bool"):
+            validate_event(payload)
+
+    def test_non_finite_float_rejected(self):
+        payload = iteration_event().to_dict()
+        payload["dur"] = float("inf")
+        with pytest.raises(TraceSchemaError, match="non-finite"):
+            validate_event(payload)
+
+
+class TestRingSink:
+    def test_bounded_memory_and_drop_count(self):
+        ring = RingSink(capacity=3)
+        for i in range(5):
+            ring.append({"i": i})
+        assert [e["i"] for e in ring.events] == [2, 3, 4]
+        assert ring.dropped == 2
+        assert ring.appended == 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingSink(capacity=0)
+
+
+class TestJSONLSink:
+    def test_one_compact_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JSONLSink(path) as sink:
+            sink.append({"kind": "x", "ts": 1.0})
+            sink.append({"kind": "y", "ts": 2.0})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert " " not in lines[0]  # compact separators
+        assert json.loads(lines[1]) == {"kind": "y", "ts": 2.0}
+
+
+class TestTraceRecorder:
+    def test_fans_out_to_all_sinks_and_counts_kinds(self):
+        a, b = ListSink(), ListSink()
+        recorder = TraceRecorder([a, b])
+        recorder.emit(iteration_event())
+        recorder.emit(iteration_event(ts=2.0))
+        assert len(a.events) == 2
+        assert a.events == b.events
+        assert recorder.counts["iteration_scheduled"] == 2
+        assert recorder.total_events == 2
+
+    def test_close_closes_sinks(self, tmp_path):
+        sink = JSONLSink(tmp_path / "t.jsonl")
+        recorder = TraceRecorder([sink])
+        recorder.emit(iteration_event())
+        recorder.close()
+        assert sink._file.closed
+
+
+class TestReadJsonlTrace:
+    def test_round_trip_with_validation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JSONLSink(path) as sink:
+            TraceRecorder([sink]).emit(iteration_event())
+        events = read_jsonl_trace(path, validate=True)
+        assert len(events) == 1
+        assert events[0]["kind"] == "iteration_scheduled"
+
+    def test_invalid_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl_trace(path)
+
+    def test_schema_violation_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "bogus", "ts": 0.0}\n')
+        with pytest.raises(TraceSchemaError, match=":1:"):
+            read_jsonl_trace(path, validate=True)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"kind": "x"}\n\n')
+        assert len(read_jsonl_trace(path)) == 1
