@@ -6,8 +6,10 @@ Usage::
     python -m repro run fig04 [--scale smoke|bench|full] [--out FILE]
     python -m repro run all --scale smoke
     python -m repro run fig09 --trace-out run.jsonl --metrics-out run.prom
+    python -m repro run faults --fault-plan chaos.json
     python -m repro trace run.jsonl --chrome run_chrome.json
     python -m repro trace run.jsonl --validate
+    python -m repro faults validate chaos.json --num-replicas 4
 
 ``--trace-out`` records every engine built during the run through the
 :mod:`repro.obs` subsystem (iteration-level JSONL events);
@@ -15,6 +17,11 @@ Usage::
 ``trace`` command post-processes a recorded JSONL file: schema
 validation, per-request timeline table, and conversion to Chrome
 trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+
+``--fault-plan`` loads a :mod:`repro.faults` fault schedule (replica
+crashes / slowdowns) and installs it as the process default, so
+fault-aware experiments inject it; ``faults validate`` lints a plan
+file and reports every problem with a clean message.
 """
 
 from __future__ import annotations
@@ -94,6 +101,9 @@ def _registry() -> dict[str, tuple[str, Callable[[Scale], list]]]:
                             runner("ext_autoscaling", "run")),
         "ext-routing": ("extension: cluster load-balancing ablation",
                         runner("ext_routing", "run")),
+        "faults": ("chaos: crash anatomy + goodput vs MTBF "
+                   "(honours --fault-plan)",
+                   runner("fig_faults", "run", "run_mtbf_sweep")),
     }
 
 
@@ -144,6 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", type=Path, default=None, metavar="FILE",
         help="write aggregated metrics in Prometheus text format "
              "to FILE after the run",
+    )
+    run_parser.add_argument(
+        "--fault-plan", type=Path, default=None, metavar="FILE",
+        help="JSON fault schedule (see docs/RESILIENCE.md) injected "
+             "into fault-aware experiments",
+    )
+    faults_parser = sub.add_parser(
+        "faults", help="fault-plan tooling (repro.faults)"
+    )
+    faults_sub = faults_parser.add_subparsers(
+        dest="faults_command", required=True
+    )
+    validate_parser = faults_sub.add_parser(
+        "validate", help="lint a fault-plan JSON file"
+    )
+    validate_parser.add_argument(
+        "plan", type=Path, help="fault-plan JSON file",
+    )
+    validate_parser.add_argument(
+        "--num-replicas", type=int, default=None, metavar="N",
+        help="also range-check replica indices against a deployment "
+             "of N replicas",
     )
     trace_parser = sub.add_parser(
         "trace", help="inspect / convert a recorded JSONL trace"
@@ -205,6 +237,9 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         return _trace_command(args)
 
+    if args.command == "faults":
+        return _faults_command(args)
+
     names = list(args.experiments)
     if names == ["all"]:
         names = list(registry)
@@ -216,11 +251,30 @@ def _main(argv: list[str] | None = None) -> int:
         return 2
 
     scale = SCALES[args.scale]
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import (
+            FaultPlan,
+            FaultPlanError,
+            set_default_fault_plan,
+        )
+
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except OSError as error:
+            return _path_error("read --fault-plan", error)
+        except FaultPlanError as error:
+            print(f"invalid fault plan {args.fault_plan}: {error}",
+                  file=sys.stderr)
+            return 1
     try:
         observer = _install_observer(args)
     except OSError as error:
-        print(f"cannot open --trace-out: {error}", file=sys.stderr)
-        return 1
+        return _path_error("open --trace-out", error)
+    if fault_plan is not None:
+        set_default_fault_plan(fault_plan)
+        print(f"fault plan {args.fault_plan} armed "
+              f"({len(fault_plan)} events)")
     exit_code = 0
     try:
         for name in names:
@@ -247,13 +301,50 @@ def _main(argv: list[str] | None = None) -> int:
                         sink.write(text + "\n\n")
             print(f"[{name} done in {elapsed:.1f}s]")
     finally:
+        if fault_plan is not None:
+            set_default_fault_plan(None)
         try:
             _teardown_observer(observer, args)
         except OSError as error:
-            print(f"cannot write observability output: {error}",
-                  file=sys.stderr)
-            exit_code = 1
+            exit_code = _path_error("write observability output", error)
     return exit_code
+
+
+def _path_error(context: str, error: Exception) -> int:
+    """Uniform exit for an unreadable or unwritable user-supplied path.
+
+    Every CLI flag that touches the filesystem (``--trace-out``,
+    ``--metrics-out``, ``--fault-plan``, ``trace`` / ``faults``
+    inputs) funnels OS errors through here so the message shape is
+    identical: ``cannot <action>: <os error>``.
+    """
+    print(f"cannot {context}: {error}", file=sys.stderr)
+    return 1
+
+
+def _faults_command(args) -> int:
+    """Implement ``repro faults validate``: lint a plan file."""
+    import json
+
+    from repro.faults import validate_plan_dict
+
+    try:
+        text = args.plan.read_text()
+    except OSError as error:
+        return _path_error("read fault plan", error)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"{args.plan}: not valid JSON: {error}", file=sys.stderr)
+        return 1
+    problems = validate_plan_dict(payload, num_replicas=args.num_replicas)
+    if problems:
+        for problem in problems:
+            print(f"{args.plan}: {problem}", file=sys.stderr)
+        return 1
+    count = len(payload.get("events", []))
+    print(f"{args.plan}: valid fault plan ({count} events)")
+    return 0
 
 
 def _install_observer(args):
@@ -300,8 +391,7 @@ def _trace_command(args) -> int:
     try:
         events = read_jsonl_trace(args.trace, validate=args.validate)
     except OSError as error:
-        print(f"cannot read trace: {error}", file=sys.stderr)
-        return 1
+        return _path_error("read trace", error)
     except (TraceSchemaError, ValueError) as error:
         print(f"invalid trace: {error}", file=sys.stderr)
         return 1

@@ -19,8 +19,10 @@ from repro.cluster.decode_pool import (
     max_batch_for_tbt,
 )
 from repro.cluster.autoscaler import AutoscalerConfig, AutoscalingDeployment
+from repro.cluster.resilient import ResilientClusterDeployment
 
 __all__ = [
+    "ResilientClusterDeployment",
     "ClusterDeployment",
     "SiloedDeployment",
     "SiloSpec",

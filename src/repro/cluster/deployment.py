@@ -84,21 +84,53 @@ class ClusterDeployment:
             + len(replica.scheduler.pending_requests())
         )
 
+    def _eligible_replicas(self) -> list[ReplicaEngine]:
+        """Replicas routing may dispatch to right now.
+
+        The base deployment never takes a replica out of rotation;
+        :class:`~repro.cluster.resilient.ResilientClusterDeployment`
+        overrides this to skip crashed replicas.
+        """
+        return self.replicas
+
     def _pick_replica(self) -> ReplicaEngine:
-        if self.routing == "round-robin" or self.num_replicas == 1:
-            replica = self.replicas[self._next_replica]
-            self._next_replica = (
-                self._next_replica + 1
-            ) % self.num_replicas
-            return replica
+        candidates = self._eligible_replicas()
+        if not candidates:
+            raise RuntimeError("routing found no eligible replica")
+        if self.routing == "round-robin" or len(candidates) == 1:
+            # Walk the rotation cursor to the next eligible replica so
+            # rotation order survives replicas leaving and rejoining.
+            for _ in range(self.num_replicas):
+                replica = self.replicas[self._next_replica]
+                self._next_replica = (
+                    self._next_replica + 1
+                ) % self.num_replicas
+                if replica in candidates:
+                    return replica
+            # candidates is a non-empty subset of self.replicas, so
+            # the walk above always returns; keep a hard stop anyway.
+            raise RuntimeError("eligible replicas not in deployment")
         if self.routing == "least-loaded":
-            return min(self.replicas, key=self._outstanding)
-        # power-of-two: sample two distinct replicas, keep the lighter.
-        first, second = self._route_rng.choice(
-            self.num_replicas, size=2, replace=False
-        )
-        a, b = self.replicas[int(first)], self.replicas[int(second)]
-        return a if self._outstanding(a) <= self._outstanding(b) else b
+            # Ties break on replica index, not list position, so equal
+            # loads route the same way no matter who crashed earlier.
+            return min(
+                candidates,
+                key=lambda r: (self._outstanding(r), r.replica_id),
+            )
+        # power-of-two: sample two distinct candidates, keep the
+        # lighter; a tie goes to the lower replica index rather than
+        # whichever the RNG happened to sample first.
+        if len(candidates) == 2:
+            a, b = candidates
+        else:
+            first, second = self._route_rng.choice(
+                len(candidates), size=2, replace=False
+            )
+            a, b = candidates[int(first)], candidates[int(second)]
+        load_a, load_b = self._outstanding(a), self._outstanding(b)
+        if load_a != load_b:
+            return a if load_a < load_b else b
+        return a if a.replica_id < b.replica_id else b
 
     def submit(self, request: Request) -> None:
         """Dispatch one request according to the routing strategy.

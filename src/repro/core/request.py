@@ -58,6 +58,15 @@ class Request:
         last_token_time: Timestamp of the most recent output token.
         scheduled_first_time: When the first prefill chunk ran (queueing
             delay diagnostics).
+
+    Resilience state (owned by the fault layer, see ``repro.faults``):
+        attempts: Times the request was dispatched to a replica; >1
+            means it was re-dispatched after a replica crash.
+        cancelled: True once the request was abandoned (client deadline
+            timeout, retry budget exhausted) and will never finish.
+        cancelled_time / cancel_reason: When and why.
+        shed: True when admission control refused the request under
+            degraded capacity (it was never dispatched).
     """
 
     request_id: int
@@ -81,6 +90,11 @@ class Request:
     tbt_deadline_misses: int = 0
     last_token_time: float | None = None
     scheduled_first_time: float | None = None
+    attempts: int = 0
+    cancelled: bool = False
+    cancelled_time: float | None = None
+    cancel_reason: str | None = None
+    shed: bool = False
     _extra: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -132,6 +146,29 @@ class Request:
         self.prefill_done = 0
         self.evictions += 1
 
+    def cancel(self, now: float, reason: str) -> None:
+        """Mark the request as abandoned; it will never finish.
+
+        Cancellation is terminal and idempotent: the first call wins,
+        so the recorded reason reflects what actually gave up first
+        (a deadline timeout racing an exhausted retry budget).
+        """
+        if self.is_finished:
+            raise RuntimeError(
+                f"request {self.request_id} already finished; "
+                "cannot cancel"
+            )
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.cancelled_time = now
+        self.cancel_reason = reason
+
+    @property
+    def retries(self) -> int:
+        """Re-dispatches after the initial attempt (>= 0)."""
+        return max(0, self.attempts - 1)
+
     @property
     def is_interactive(self) -> bool:
         return self.qos.is_interactive
@@ -182,8 +219,11 @@ class Request:
         separately and reports <0.1% TBT violations); non-interactive
         requests on TTLT.  An unfinished request counts as violated
         once its deadline has passed — callers evaluating mid-run
-        should prefer :meth:`violated_by`.
+        should prefer :meth:`violated_by`.  Cancelled or shed requests
+        can never meet their SLO and count as violated immediately.
         """
+        if self.cancelled or self.shed:
+            return True
         if self.is_interactive:
             if self.first_token_time is None:
                 return True
@@ -194,6 +234,8 @@ class Request:
 
     def violated_by(self, now: float) -> bool:
         """SLO-violation status as observable at simulated time ``now``."""
+        if self.cancelled or self.shed:
+            return True
         if self.is_interactive:
             if self.first_token_time is not None:
                 return self.first_token_time > self.first_token_deadline

@@ -82,6 +82,19 @@ class Scheduler(ABC):
     def on_prefill_complete(self, request: Request, now: float) -> None:
         """Notification that a request's prompt finished processing."""
 
+    def remove(self, request: Request, now: float) -> None:
+        """Withdraw a request from the prefill queue entirely.
+
+        Used by the fault layer when a request is cancelled or its
+        replica crashes: unlike :meth:`on_prefill_complete` (which may
+        leave lazily-invalidated bookkeeping behind for a request that
+        is *progressing*), after ``remove`` the scheduler must never
+        assign tokens to the request again.  The default forwards to
+        :meth:`on_prefill_complete`, which is sufficient for
+        schedulers with strict queue bookkeeping.
+        """
+        self.on_prefill_complete(request, now)
+
     def on_request_complete(self, request: Request, now: float) -> None:
         """Notification that a request produced its final token."""
 

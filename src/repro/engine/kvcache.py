@@ -62,6 +62,10 @@ class KVCacheManager:
         tokens, _ = self._holdings.get(request_id, (0, 0))
         return tokens
 
+    def holders(self) -> list[int]:
+        """Request ids with a live holding, in insertion order."""
+        return list(self._holdings)
+
     def blocks_needed(self, request_id: int, extra_tokens: int) -> int:
         """Additional blocks required to grow a holding."""
         tokens, blocks = self._holdings.get(request_id, (0, 0))

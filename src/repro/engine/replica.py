@@ -100,6 +100,9 @@ class ReplicaEngine:
         #: tokens can never fit this replica's KV cache (vLLM rejects
         #: over-length prompts the same way).
         self.rejected: list[Request] = []
+        #: Arrivals that found the replica crashed (bare-engine use
+        #: only; a cluster router never dispatches to a down replica).
+        self.dropped: list[Request] = []
         self.iteration_records: list[IterationRecord] = []
         self.iterations_run = 0
         self.busy_time = 0.0
@@ -109,7 +112,22 @@ class ReplicaEngine:
         self.decode_evictions = 0
         self.stall_preemptions = 0
         self.chunk_tokens_hist: Counter[int] = Counter()
+        #: False while the replica is crashed (see :meth:`crash`); a
+        #: down replica accepts no work and runs no iterations.
+        self.healthy = True
+        #: Transient-straggler multiplier applied to every iteration's
+        #: execution time (1.0 = nominal speed).
+        self.slowdown_factor = 1.0
+        self.crash_count = 0
+        self.cancelled: list[Request] = []
+        self._crashed_at = 0.0
         self._busy = False
+        # Handle of the scheduled end-of-iteration event, so a crash
+        # can abort the batch in flight.
+        self._inflight_event = None
+        #: Optional ``(request, now)`` callback fired on completion;
+        #: the resilient cluster uses it to disarm deadline watchdogs.
+        self.completion_hook: Callable[[Request, float], None] | None = None
         # Requests whose prefill has started but not finished; counts
         # against decode slots so admission cannot overshoot.
         self._inflight_prefills: set[int] = set()
@@ -131,7 +149,13 @@ class ReplicaEngine:
         )
 
     def submit_now(self, request: Request) -> None:
-        """Hand a request over immediately (disaggregation handoff)."""
+        """Hand a request over immediately (disaggregation handoff,
+        cluster dispatch)."""
+        if not self.healthy:
+            raise RuntimeError(
+                f"replica {self.replica_id} is down; router must not "
+                "dispatch to it"
+            )
         self.submitted.append(request)
         self._on_arrival(request)
 
@@ -171,6 +195,12 @@ class ReplicaEngine:
             self._pending_handoffs.popleft()
 
     def _on_arrival(self, request: Request) -> None:
+        if not self.healthy:
+            # The arrival was scheduled before the crash (direct
+            # engine use); a cluster router re-dispatches via its own
+            # retry path, a bare engine records the drop.
+            self.dropped.append(request)
+            return
         max_tokens = (
             self.kv_cache.capacity_blocks * self.kv_cache.block_size
         )
@@ -197,7 +227,7 @@ class ReplicaEngine:
     # --- iteration loop ----------------------------------------------------
 
     def _maybe_start(self) -> None:
-        if self._busy:
+        if self._busy or not self.healthy:
             return
         if self.has_work():
             self._start_iteration()
@@ -239,6 +269,11 @@ class ReplicaEngine:
                 request.scheduled_first_time = now
 
         exec_time = self.execution_model.batch_time(plan.to_shape())
+        if self.slowdown_factor != 1.0:
+            # Transient straggler (fault injection): the replica runs,
+            # just slower.  Guarded so the nominal path stays
+            # bit-exact with no fault layer attached.
+            exec_time *= self.slowdown_factor
         self._busy = True
         self.busy_time += exec_time
         if plan.prefill_tokens > 0:
@@ -248,7 +283,7 @@ class ReplicaEngine:
         self.observer.on_iteration_start(
             self.replica_id, now, exec_time, plan, self.iterations_run
         )
-        self.simulator.schedule_after(
+        self._inflight_event = self.simulator.schedule_after(
             exec_time, lambda: self._finish_iteration(plan, exec_time, now)
         )
 
@@ -333,6 +368,7 @@ class ReplicaEngine:
         self, plan: BatchPlan, exec_time: float, start_time: float
     ) -> None:
         now = self.simulator.now
+        self._inflight_event = None
         self.iterations_run += 1
         if self.config.record_iterations:
             shape = plan.to_shape()
@@ -358,6 +394,8 @@ class ReplicaEngine:
         # Prefill side: advance chunk progress.
         for assignment in plan.prefill_assignments:
             request = assignment.request
+            if request.cancelled:
+                continue  # cancelled mid-iteration; KV already freed
             request.prefill_done += assignment.tokens
             if request.remaining_prefill == 0:
                 self._on_prefill_finished(request, now)
@@ -393,12 +431,140 @@ class ReplicaEngine:
         self.completed.append(request)
         self.observer.on_request_completed(self.replica_id, request, now)
         self.scheduler.on_request_complete(request, now)
+        if self.completion_hook is not None:
+            self.completion_hook(request, now)
         if self._pending_handoffs:
             self._admit_handoffs()
         if self._stalled_requests:
             for stalled in self._stalled_requests:
                 self.scheduler.enqueue(stalled, now)
             self._stalled_requests.clear()
+
+    # --- faults (repro.faults) --------------------------------------------
+
+    def crash(self) -> list[Request]:
+        """Fail the replica: drop its KV cache and in-flight batch.
+
+        Mirrors a process/host failure: the batch being executed never
+        completes, every cached KV block is lost, and each resident
+        request's generation state must be recomputed from scratch
+        (``Request.evict``).  The engine stops serving until
+        :meth:`recover` is called.
+
+        Returns:
+            The unfinished requests that were resident (decoding,
+            prefilling, queued, parked, or awaiting handoff), in a
+            deterministic order, for the cluster's retry layer to
+            re-dispatch.
+        """
+        now = self.simulator.now
+        if self._inflight_event is not None:
+            self._inflight_event.cancel()
+            self._inflight_event = None
+        self._busy = False
+
+        lost: list[Request] = []
+        seen: set[int] = set()
+
+        def take(request: Request) -> None:
+            if request.request_id not in seen and not request.is_finished:
+                seen.add(request.request_id)
+                lost.append(request)
+
+        for request in self.decode_queue:
+            take(request)
+        for request in self.scheduler.pending_requests():
+            take(request)
+        for request in self._stalled_requests:
+            take(request)
+        for request in self._pending_handoffs:
+            take(request)
+
+        self.decode_queue.clear()
+        self._stalled_requests.clear()
+        self._pending_handoffs.clear()
+        self._inflight_prefills.clear()
+
+        kv_blocks_dropped = 0
+        for request in lost:
+            self.scheduler.remove(request, now)
+            kv_blocks_dropped += self.kv_cache.release(request.request_id)
+            request.evict()
+        # No-leak invariant: every block belonged to a resident
+        # request, so dropping them all must empty the cache.
+        leaked = self.kv_cache.holders()
+        assert not leaked and self.kv_cache.used_blocks == 0, (
+            f"KV blocks leaked across crash of replica "
+            f"{self.replica_id}: {leaked}"
+        )
+
+        self.healthy = False
+        self.crash_count += 1
+        self._crashed_at = now
+        self.observer.on_replica_crashed(
+            self.replica_id, now, len(lost), kv_blocks_dropped
+        )
+        return lost
+
+    def recover(self) -> None:
+        """Bring a crashed replica back with a cold (empty) cache."""
+        if self.healthy:
+            return
+        now = self.simulator.now
+        self.healthy = True
+        self.observer.on_replica_recovered(
+            self.replica_id, now, now - self._crashed_at
+        )
+        self._maybe_start()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Set the straggler multiplier on iteration execution time."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self.slowdown_factor = float(factor)
+
+    def cancel_request(self, request: Request, reason: str) -> bool:
+        """Withdraw an unfinished request (client disconnect/timeout).
+
+        Frees its KV and removes it from every engine structure; the
+        in-flight batch keeps executing (the work is simply discarded
+        when the iteration completes).
+
+        Returns:
+            True if the request was resident on this replica.
+        """
+        if request.is_finished:
+            return False
+        now = self.simulator.now
+        resident = False
+        if request in self.decode_queue:
+            self.decode_queue.remove(request)
+            resident = True
+        if request.request_id in self._inflight_prefills:
+            self._inflight_prefills.discard(request.request_id)
+            resident = True
+        if any(
+            r.request_id == request.request_id
+            for r in self.scheduler.pending_requests()
+        ):
+            resident = True
+        self.scheduler.remove(request, now)
+        if request in self._stalled_requests:
+            self._stalled_requests.remove(request)
+            resident = True
+        if request in self._pending_handoffs:
+            self._pending_handoffs.remove(request)
+            resident = True
+        self.kv_cache.release(request.request_id)
+        request.cancel(now, reason)
+        self.cancelled.append(request)
+        self.observer.on_request_cancelled(self.replica_id, request, now,
+                                           reason)
+        # Freed KV/slots may unblock queued work.
+        if self._pending_handoffs:
+            self._admit_handoffs()
+        self._maybe_start()
+        return resident
 
     # --- driving ----------------------------------------------------------
 

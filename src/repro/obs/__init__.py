@@ -33,7 +33,13 @@ from repro.obs.events import (
     KVCacheSnapshot,
     Preempted,
     Relegated,
+    ReplicaCrashed,
+    ReplicaRecovered,
+    ReplicaSlowdown,
+    RequestCancelled,
     RequestCompleted,
+    RequestRetried,
+    RequestShed,
     TraceEvent,
     TraceSchemaError,
     validate_event,
@@ -70,7 +76,13 @@ __all__ = [
     "KVCacheSnapshot",
     "Preempted",
     "Relegated",
+    "ReplicaCrashed",
+    "ReplicaRecovered",
+    "ReplicaSlowdown",
+    "RequestCancelled",
     "RequestCompleted",
+    "RequestRetried",
+    "RequestShed",
     "TraceEvent",
     "TraceSchemaError",
     "validate_event",

@@ -11,8 +11,9 @@ Perfetto and ``chrome://tracing`` load directly:
   a span on a **batch-slot track**: slots are allocated greedily and
   reused once free, so the track count equals the peak concurrency —
   visually, the replica's occupancy;
-* relegations, preemptions and decode evictions render as instant
-  (``ph: "i"``) markers;
+* relegations, preemptions, decode evictions and every fault-layer
+  event (crashes, recoveries, slowdowns, retries, sheds,
+  cancellations) render as instant (``ph: "i"``) markers;
 * KV-cache occupancy renders as a counter (``ph: "C"``) series.
 
 Timestamps are simulated seconds scaled to microseconds, the unit the
@@ -27,6 +28,22 @@ from pathlib import Path
 from typing import Any, Iterable
 
 _US = 1e6  # seconds -> trace-format microseconds
+
+#: Event kinds rendered as instant (``ph: "i"``) markers -> category.
+#: Fault-layer events (crash/recover/slowdown/retry/shed/cancel) get
+#: their own category so Perfetto can filter the chaos timeline; a
+#: request_shed event carries no replica and lands on pid 0.
+_INSTANT_KINDS = {
+    "preempted": "scheduler",
+    "decode_evicted": "scheduler",
+    "relegated": "scheduler",
+    "replica_crashed": "fault",
+    "replica_recovered": "fault",
+    "replica_slowdown": "fault",
+    "request_retried": "fault",
+    "request_shed": "fault",
+    "request_cancelled": "fault",
+}
 
 
 def _meta(pid: int, tid: int | None, name: str, what: str) -> dict:
@@ -81,12 +98,12 @@ def to_chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
                 "ts": ev["ts"] * _US,
                 "args": {"used_blocks": ev["used_blocks"]},
             })
-        elif kind in ("preempted", "decode_evicted", "relegated"):
+        elif kind in _INSTANT_KINDS:
             pid = int(ev.get("replica_id", 0))
             replicas.add(pid)
             trace_events.append({
                 "name": kind,
-                "cat": "scheduler",
+                "cat": _INSTANT_KINDS[kind],
                 "ph": "i",
                 "s": "p",  # process-scoped instant
                 "pid": pid,

@@ -151,6 +151,78 @@ class KVCacheSnapshot(TraceEvent):
     utilization: float
 
 
+@dataclass(frozen=True)
+class ReplicaCrashed(TraceEvent):
+    """A replica failed: KV cache and in-flight batch lost."""
+
+    kind: ClassVar[str] = "replica_crashed"
+
+    replica_id: int
+    lost_requests: int
+    kv_blocks_dropped: int
+
+
+@dataclass(frozen=True)
+class ReplicaRecovered(TraceEvent):
+    """A crashed replica came back with a cold cache."""
+
+    kind: ClassVar[str] = "replica_recovered"
+
+    replica_id: int
+    downtime: float
+
+
+@dataclass(frozen=True)
+class ReplicaSlowdown(TraceEvent):
+    """A replica's iteration time changed by a straggler multiplier.
+
+    ``factor`` 1.0 marks the end of a slowdown window.
+    """
+
+    kind: ClassVar[str] = "replica_slowdown"
+
+    replica_id: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class RequestRetried(TraceEvent):
+    """A request lost to a crash was re-enqueued after backoff."""
+
+    kind: ClassVar[str] = "request_retried"
+
+    request_id: int
+    tier: str
+    attempt: int
+    backoff: float
+    from_replica: int
+
+
+@dataclass(frozen=True)
+class RequestShed(TraceEvent):
+    """Admission control refused an arrival under degraded capacity."""
+
+    kind: ClassVar[str] = "request_shed"
+
+    request_id: int
+    tier: str
+    important: bool
+    alive_fraction: float
+
+
+@dataclass(frozen=True)
+class RequestCancelled(TraceEvent):
+    """A request was abandoned (deadline timeout or retry budget)."""
+
+    kind: ClassVar[str] = "request_cancelled"
+
+    replica_id: int
+    request_id: int
+    tier: str
+    reason: str
+    waited: float
+
+
 #: kind -> event class, the closed registry of trace event types.
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -162,6 +234,12 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         DecodeEvicted,
         RequestCompleted,
         KVCacheSnapshot,
+        ReplicaCrashed,
+        ReplicaRecovered,
+        ReplicaSlowdown,
+        RequestRetried,
+        RequestShed,
+        RequestCancelled,
     )
 }
 

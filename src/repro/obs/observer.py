@@ -30,7 +30,13 @@ from repro.obs.events import (
     KVCacheSnapshot,
     Preempted,
     Relegated,
+    ReplicaCrashed,
+    ReplicaRecovered,
+    ReplicaSlowdown,
+    RequestCancelled,
     RequestCompleted,
+    RequestRetried,
+    RequestShed,
 )
 from repro.obs.metrics import (
     DEFAULT_CHUNK_BUCKETS,
@@ -113,6 +119,51 @@ class Observer:
         self, replica_id: int, request: "Request", now: float
     ) -> None:
         """``request`` produced its final output token."""
+
+    # --- fault hooks (repro.faults) --------------------------------------
+
+    def on_replica_crashed(
+        self,
+        replica_id: int,
+        now: float,
+        lost_requests: int,
+        kv_blocks_dropped: int,
+    ) -> None:
+        """A replica failed, losing its KV cache and in-flight batch."""
+
+    def on_replica_recovered(
+        self, replica_id: int, now: float, downtime: float
+    ) -> None:
+        """A crashed replica rejoined with a cold cache."""
+
+    def on_replica_slowdown(
+        self, replica_id: int, now: float, factor: float
+    ) -> None:
+        """A replica's straggler multiplier changed (1.0 = nominal)."""
+
+    def on_request_retried(
+        self,
+        request: "Request",
+        now: float,
+        attempt: int,
+        backoff: float,
+        from_replica: int,
+    ) -> None:
+        """A crash-lost request was scheduled for re-dispatch."""
+
+    def on_request_shed(
+        self, request: "Request", now: float, alive_fraction: float
+    ) -> None:
+        """Admission control refused an arrival under degraded capacity."""
+
+    def on_request_cancelled(
+        self, replica_id: int, request: "Request", now: float, reason: str
+    ) -> None:
+        """An unfinished request was abandoned (timeout / retry budget).
+
+        ``replica_id`` is -1 when the request was not resident on any
+        replica (e.g. cancelled while awaiting re-dispatch).
+        """
 
 
 #: Shared no-op instance — the default everywhere an observer plugs in.
@@ -202,6 +253,31 @@ class TracingObserver(Observer):
             "repro_deadline_violations_total",
             "Completed requests that missed their governing SLO",
             ("tier",),
+        )
+        self._crashes = reg.counter(
+            "repro_replica_crashes_total",
+            "Replica failures injected", ("replica",),
+        )
+        self._recoveries = reg.counter(
+            "repro_replica_recoveries_total",
+            "Replica recoveries after a crash", ("replica",),
+        )
+        self._slowdowns = reg.counter(
+            "repro_replica_slowdowns_total",
+            "Straggler windows started on a replica", ("replica",),
+        )
+        self._retries = reg.counter(
+            "repro_request_retries_total",
+            "Crash-lost requests re-enqueued for dispatch", ("tier",),
+        )
+        self._shed = reg.counter(
+            "repro_requests_shed_total",
+            "Arrivals refused by degraded-capacity admission control",
+            ("tier",),
+        )
+        self._cancellations = reg.counter(
+            "repro_requests_cancelled_total",
+            "Requests abandoned before completion", ("tier", "reason"),
         )
 
     # --- engine hooks ----------------------------------------------------
@@ -322,6 +398,66 @@ class TracingObserver(Observer):
         self._completed.labels(tier).inc()
         if violated:
             self._violations.labels(tier).inc()
+
+    # --- fault hooks ------------------------------------------------------
+
+    def on_replica_crashed(
+        self, replica_id, now, lost_requests, kv_blocks_dropped
+    ) -> None:
+        self.recorder.emit(ReplicaCrashed(
+            ts=now,
+            replica_id=replica_id,
+            lost_requests=lost_requests,
+            kv_blocks_dropped=kv_blocks_dropped,
+        ))
+        self._crashes.labels(str(replica_id)).inc()
+
+    def on_replica_recovered(self, replica_id, now, downtime) -> None:
+        self.recorder.emit(ReplicaRecovered(
+            ts=now, replica_id=replica_id, downtime=downtime,
+        ))
+        self._recoveries.labels(str(replica_id)).inc()
+
+    def on_replica_slowdown(self, replica_id, now, factor) -> None:
+        self.recorder.emit(ReplicaSlowdown(
+            ts=now, replica_id=replica_id, factor=factor,
+        ))
+        if factor != 1.0:  # 1.0 closes a window, it does not open one
+            self._slowdowns.labels(str(replica_id)).inc()
+
+    def on_request_retried(
+        self, request, now, attempt, backoff, from_replica
+    ) -> None:
+        self.recorder.emit(RequestRetried(
+            ts=now,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            attempt=attempt,
+            backoff=backoff,
+            from_replica=from_replica,
+        ))
+        self._retries.labels(request.qos.name).inc()
+
+    def on_request_shed(self, request, now, alive_fraction) -> None:
+        self.recorder.emit(RequestShed(
+            ts=now,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            important=request.important,
+            alive_fraction=alive_fraction,
+        ))
+        self._shed.labels(request.qos.name).inc()
+
+    def on_request_cancelled(self, replica_id, request, now, reason) -> None:
+        self.recorder.emit(RequestCancelled(
+            ts=now,
+            replica_id=replica_id,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            reason=reason,
+            waited=now - request.arrival_time,
+        ))
+        self._cancellations.labels(request.qos.name, reason).inc()
 
     def close(self) -> None:
         self.recorder.close()

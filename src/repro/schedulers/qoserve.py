@@ -210,6 +210,13 @@ class QoServeScheduler(FixedChunkScheduler):
         # periodic replan; the packer skips them (no prefill left).
         self._member.pop(request.request_id, None)
 
+    def remove(self, request: Request, now: float) -> None:
+        # A withdrawn request may still have prefill work left (crash
+        # resets its progress), so the stale cached order would keep
+        # offering it to the packer; force a replan to purge it.
+        self._member.pop(request.request_id, None)
+        self._order_dirty = True
+
     @timed("qoserve.plan_prefill")
     def plan_prefill(self, view: EngineView) -> list[PrefillAssignment]:
         now = view.now

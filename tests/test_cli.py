@@ -121,3 +121,103 @@ class TestTracingEndToEnd:
         bad.write_text('{"kind": "bogus", "ts": 0.0}\n')
         assert main(["trace", str(bad), "--validate"]) == 1
         assert "invalid trace" in capsys.readouterr().err
+
+
+class TestFaultsCLI:
+    def test_validate_parser(self):
+        args = build_parser().parse_args(
+            ["faults", "validate", "p.json", "--num-replicas", "4"]
+        )
+        assert args.command == "faults"
+        assert args.faults_command == "validate"
+        assert str(args.plan) == "p.json"
+        assert args.num_replicas == 4
+
+    def test_run_fault_plan_flag(self):
+        args = build_parser().parse_args(
+            ["run", "faults", "--fault-plan", "chaos.json"]
+        )
+        assert str(args.fault_plan) == "chaos.json"
+
+    def test_registry_has_faults_experiment(self):
+        assert "faults" in _registry()
+
+    def test_validate_good_plan(self, capsys, tmp_path):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"events": [
+            {"kind": "crash", "time": 1.0, "replica": 0,
+             "recover_after": 2.0},
+            {"kind": "slowdown", "time": 0.5, "replica": 1,
+             "duration": 3.0},
+        ]}))
+        assert main(["faults", "validate", str(plan)]) == 0
+        assert "valid fault plan (2 events)" in capsys.readouterr().out
+
+    def test_validate_reports_every_problem(self, capsys, tmp_path):
+        import json
+
+        plan = tmp_path / "bad.json"
+        plan.write_text(json.dumps({"events": [
+            {"kind": "crash", "time": -1, "replica": 0},
+            {"kind": "warp", "time": 0, "replica": 9},
+        ]}))
+        code = main(
+            ["faults", "validate", str(plan), "--num-replicas", "4"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "events[0]" in err and "events[1]" in err
+
+    def test_validate_bad_json(self, capsys, tmp_path):
+        plan = tmp_path / "broken.json"
+        plan.write_text("{nope")
+        assert main(["faults", "validate", str(plan)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_run_with_invalid_fault_plan(self, capsys, tmp_path):
+        import json
+
+        plan = tmp_path / "bad.json"
+        plan.write_text(json.dumps(
+            {"events": [{"kind": "warp", "time": 0, "replica": 0}]}
+        ))
+        assert main(["run", "fig04", "--fault-plan", str(plan)]) == 1
+        assert "invalid fault plan" in capsys.readouterr().err
+
+    def test_run_arms_and_clears_plan(self, capsys, tmp_path):
+        import json
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({"events": []}))
+        code = main(["run", "fig04", "--scale", "smoke",
+                     "--fault-plan", str(plan_file)])
+        assert code == 0
+        assert "armed (0 events)" in capsys.readouterr().out
+        # The process default must be cleared after the run.
+        from repro.faults import get_default_fault_plan
+
+        assert get_default_fault_plan() is None
+
+
+class TestPathErrorShape:
+    """Every filesystem flag funnels OS errors through one helper, so
+    the message shape is identical: ``cannot <action>: <error>``."""
+
+    def test_consistent_prefixes(self, capsys, tmp_path):
+        missing = tmp_path / "no-such-dir"
+        cases = [
+            (["trace", str(missing / "t.jsonl")],
+             "cannot read trace:"),
+            (["faults", "validate", str(missing / "p.json")],
+             "cannot read fault plan:"),
+            (["run", "fig04", "--fault-plan", str(missing / "p.json")],
+             "cannot read --fault-plan:"),
+            (["run", "fig04", "--scale", "smoke",
+              "--trace-out", str(missing / "t.jsonl")],
+             "cannot open --trace-out:"),
+        ]
+        for argv, prefix in cases:
+            assert main(argv) == 1, argv
+            assert prefix in capsys.readouterr().err

@@ -105,3 +105,63 @@ class TestStrategies:
             return [len(r.submitted) for r in cluster.replicas]
 
         assert once() == once()
+
+
+class _FixedChoice:
+    """Stand-in for the routing RNG returning scripted samples."""
+
+    def __init__(self, picks):
+        self.picks = list(picks)
+
+    def choice(self, n, size, replace):
+        import numpy as np
+
+        assert size == 2 and not replace
+        return np.array(self.picks[:size])
+
+
+class TestTieBreaks:
+    """Routing ties must resolve by replica index, not arrival order
+    in the candidate list or RNG sample order."""
+
+    def idle_cluster(self, execution_model, routing, replicas=4):
+        return ClusterDeployment(
+            execution_model,
+            scheduler_factory("fcfs", execution_model),
+            num_replicas=replicas,
+            routing=routing,
+        )
+
+    def test_least_loaded_all_idle_picks_lowest_index(
+        self, execution_model
+    ):
+        cluster = self.idle_cluster(execution_model, "least-loaded")
+        for _ in range(3):
+            assert cluster._pick_replica() is cluster.replicas[0]
+
+    def test_power_of_two_tie_goes_to_lower_index(self, execution_model):
+        cluster = self.idle_cluster(execution_model, "power-of-two")
+        # The RNG samples replica 3 first, then replica 1; with equal
+        # loads the old code kept the first sample (3) — the fix pins
+        # the lower index.
+        cluster._route_rng = _FixedChoice([3, 1])
+        assert cluster._pick_replica() is cluster.replicas[1]
+
+    def test_power_of_two_still_prefers_lighter_replica(
+        self, execution_model
+    ):
+        cluster = self.idle_cluster(execution_model, "power-of-two")
+        cluster._route_rng = _FixedChoice([3, 1])
+        # Load replica 1 so the sampled pair is no longer tied.
+        cluster.replicas[1].submit_now(
+            make_request(request_id=0, prompt_tokens=4000,
+                         decode_tokens=100)
+        )
+        assert cluster._pick_replica() is cluster.replicas[3]
+
+    def test_power_of_two_pair_tie_lowest_index(self, execution_model):
+        # With exactly two replicas the sampler is bypassed; the tie
+        # must still resolve to replica 0.
+        cluster = self.idle_cluster(execution_model, "power-of-two",
+                                    replicas=2)
+        assert cluster._pick_replica() is cluster.replicas[0]

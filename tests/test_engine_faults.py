@@ -1,0 +1,182 @@
+"""Engine-level fault behaviour: crash, recover, slowdown, cancel."""
+
+import pytest
+
+from repro.engine import ReplicaConfig, ReplicaEngine
+from repro.schedulers import FCFSScheduler
+from repro.simcore import Simulator
+from tests.conftest import Q2, make_request
+
+
+def make_engine(execution_model):
+    sim = Simulator()
+    engine = ReplicaEngine(
+        sim, execution_model, FCFSScheduler(chunk_size=256), ReplicaConfig()
+    )
+    return engine, sim
+
+
+def mid_flight(execution_model, n=4):
+    """An engine part-way through serving ``n`` requests."""
+    engine, sim = make_engine(execution_model)
+    requests = [
+        make_request(request_id=i, prompt_tokens=600, decode_tokens=40)
+        for i in range(n)
+    ]
+    for r in requests:
+        engine.submit(r)
+    sim.run(until=0.05)
+    assert not all(r.is_finished for r in requests)
+    return engine, sim, requests
+
+
+class TestCrash:
+    def test_crash_drops_kv_and_batch(self, execution_model):
+        engine, sim, requests = mid_flight(execution_model)
+        assert engine.kv_cache.used_blocks > 0
+        lost = engine.crash()
+        assert not engine.healthy
+        assert engine.crash_count == 1
+        assert engine.kv_cache.used_blocks == 0
+        assert engine.decode_queue == []
+        assert not engine.scheduler.has_pending_prefill()
+        unfinished = [r for r in requests if not r.is_finished]
+        assert sorted(r.request_id for r in lost) == sorted(
+            r.request_id for r in unfinished
+        )
+        # Eviction semantics: generation state must recompute.
+        for r in lost:
+            assert r.prefill_done == 0
+            assert r.evictions >= 1
+
+    def test_crash_aborts_inflight_iteration(self, execution_model):
+        engine, sim, _ = mid_flight(execution_model)
+        iterations_before = engine.iterations_run
+        engine.crash()
+        sim.run()  # the cancelled end-of-iteration event must not fire
+        assert engine.iterations_run == iterations_before
+
+    def test_lost_order_is_deterministic(self, execution_model):
+        def lost_ids():
+            engine, sim, _ = mid_flight(execution_model)
+            return [r.request_id for r in engine.crash()]
+
+        first = lost_ids()
+        assert first == lost_ids()
+        assert first, "expected unfinished residents at crash time"
+
+    def test_down_replica_rejects_dispatch(self, execution_model):
+        engine, sim, _ = mid_flight(execution_model)
+        engine.crash()
+        with pytest.raises(RuntimeError, match="down"):
+            engine.submit_now(make_request(request_id=99))
+
+    def test_down_replica_drops_scheduled_arrivals(self, execution_model):
+        engine, sim = make_engine(execution_model)
+        late = make_request(request_id=1, arrival_time=10.0)
+        engine.submit(late)
+        engine.crash()
+        sim.run()
+        assert engine.dropped == [late]
+        assert not late.is_finished
+
+    def test_crash_spares_finished_requests(self, execution_model):
+        engine, sim = make_engine(execution_model)
+        done = make_request(request_id=0, prompt_tokens=200, decode_tokens=2)
+        engine.submit(done)
+        sim.run()
+        assert done.is_finished
+        assert engine.crash() == []
+
+
+class TestRecover:
+    def test_recover_resumes_service(self, execution_model):
+        engine, sim, _ = mid_flight(execution_model)
+        lost = engine.crash()
+        engine.recover()
+        assert engine.healthy
+        for r in lost:
+            engine.submit_now(r)
+        sim.run()
+        assert all(r.is_finished for r in lost)
+        assert engine.kv_cache.used_blocks == 0
+
+    def test_recover_on_healthy_engine_is_noop(self, execution_model):
+        engine, _ = make_engine(execution_model)
+        engine.recover()
+        assert engine.healthy
+        assert engine.crash_count == 0
+
+
+class TestSlowdown:
+    def test_straggler_stretches_completion(self, execution_model):
+        def completion_time(factor):
+            engine, sim = make_engine(execution_model)
+            if factor != 1.0:
+                engine.set_slowdown(factor)
+            r = make_request(prompt_tokens=600, decode_tokens=30, qos=Q2)
+            engine.submit(r)
+            sim.run()
+            assert r.is_finished
+            return r.completion_time
+
+        nominal = completion_time(1.0)
+        slowed = completion_time(3.0)
+        assert slowed == pytest.approx(3.0 * nominal, rel=1e-6)
+
+    def test_restore_nominal_speed(self, execution_model):
+        engine, _ = make_engine(execution_model)
+        engine.set_slowdown(2.5)
+        engine.set_slowdown(1.0)
+        assert engine.slowdown_factor == 1.0
+
+    def test_rejects_nonpositive_factor(self, execution_model):
+        engine, _ = make_engine(execution_model)
+        with pytest.raises(ValueError):
+            engine.set_slowdown(0.0)
+        with pytest.raises(ValueError):
+            engine.set_slowdown(-2.0)
+
+
+class TestCancelRequest:
+    def test_cancel_resident_frees_kv(self, execution_model):
+        engine, sim, requests = mid_flight(execution_model, n=2)
+        victim = next(r for r in requests if not r.is_finished)
+        held_before = engine.kv_cache.used_blocks
+        assert engine.cancel_request(victim, "deadline") is True
+        assert victim.cancelled
+        assert victim.cancel_reason == "deadline"
+        assert victim in engine.cancelled
+        assert engine.kv_cache.used_blocks <= held_before
+        assert engine.kv_cache.holding(victim.request_id) == 0
+        sim.run()
+        assert not victim.is_finished
+        # The survivor is unaffected.
+        others = [r for r in requests if r is not victim]
+        assert all(r.is_finished for r in others)
+        assert engine.kv_cache.used_blocks == 0
+
+    def test_cancel_nonresident_returns_false(self, execution_model):
+        engine, sim = make_engine(execution_model)
+        stranger = make_request(request_id=77)
+        assert engine.cancel_request(stranger, "deadline") is False
+        assert stranger.cancelled  # still marked, just not resident
+
+    def test_cancel_finished_is_refused(self, execution_model):
+        engine, sim = make_engine(execution_model)
+        r = make_request(prompt_tokens=200, decode_tokens=2)
+        engine.submit(r)
+        sim.run()
+        assert r.is_finished
+        assert engine.cancel_request(r, "deadline") is False
+        assert not r.cancelled
+
+    def test_cancelled_mid_iteration_work_is_discarded(self, execution_model):
+        """Cancelling while a batch is in flight: the iteration
+        completes but the cancelled request gains no progress."""
+        engine, sim, requests = mid_flight(execution_model, n=3)
+        victim = next(r for r in requests if not r.is_finished)
+        progress = (victim.prefill_done, victim.decoded)
+        engine.cancel_request(victim, "client-disconnect")
+        sim.run()
+        assert (victim.prefill_done, victim.decoded) == progress

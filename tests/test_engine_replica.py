@@ -213,3 +213,35 @@ class TestKVEviction:
         assert all(r.is_finished for r in requests)
         assert sum(r.evictions for r in requests) > 0
         assert all(r.decoded == r.decode_tokens for r in requests)
+
+    def test_all_past_deadline_victim_is_latest_deadline(
+        self, execution_model
+    ):
+        """Regression: when NO decode has positive slack (every
+        next-token deadline already passed), the victim choice must
+        still be deterministic — the request with the *latest*
+        deadline loses, since it is least behind schedule."""
+        sim = Simulator()
+        engine = ReplicaEngine(
+            sim, execution_model, FCFSScheduler(chunk_size=256),
+            ReplicaConfig(),
+        )
+        requests = []
+        for i in range(4):
+            r = make_request(request_id=i, arrival_time=float(i),
+                             prompt_tokens=100, decode_tokens=50, qos=Q1)
+            r.prefill_done = r.prompt_tokens  # mid-decode
+            r.decoded = 1
+            requests.append(r)
+        engine.decode_queue.extend(requests)
+        sim.schedule(1000.0, lambda: None)
+        sim.run()
+        assert all(r.next_token_deadline < sim.now for r in requests)
+        # Latest arrival -> latest (least-negative) deadline loses.
+        assert engine._pick_eviction_victim(
+            exclude=requests[0]
+        ) is requests[3]
+        # Excluding the chosen victim falls back to the next-latest.
+        assert engine._pick_eviction_victim(
+            exclude=requests[3]
+        ) is requests[2]

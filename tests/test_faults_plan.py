@@ -1,0 +1,300 @@
+"""Unit tests for fault plans, policies and the injector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_PRIORITY,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    ReplicaCrash,
+    ReplicaSlowdownFault,
+    ResilienceConfig,
+    RetryPolicy,
+    get_default_fault_plan,
+    set_default_fault_plan,
+    validate_plan_dict,
+)
+from repro.simcore import Simulator
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            ReplicaCrash(time=9.0, replica_id=0),
+            ReplicaSlowdownFault(time=1.0, replica_id=1, duration=2.0),
+            ReplicaCrash(time=5.0, replica_id=2, recover_after=1.0),
+        ))
+        assert [e.time for e in plan.events] == [1.0, 5.0, 9.0]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().is_empty
+        assert len(FaultPlan()) == 0
+
+    def test_replicas_touched(self):
+        plan = FaultPlan(events=(
+            ReplicaCrash(time=1.0, replica_id=3),
+            ReplicaSlowdownFault(time=2.0, replica_id=1, duration=1.0),
+        ))
+        assert plan.replicas_touched() == {1, 3}
+
+    def test_round_trip_through_json(self, tmp_path):
+        plan = FaultPlan(events=(
+            ReplicaCrash(time=3.0, replica_id=0, recover_after=2.5),
+            ReplicaCrash(time=7.0, replica_id=1),  # never recovers
+            ReplicaSlowdownFault(time=1.0, replica_id=2, duration=4.0,
+                                 factor=2.5),
+        ))
+        path = tmp_path / "plan.json"
+        plan.to_file(path)
+        loaded = FaultPlan.from_file(path)
+        assert loaded == plan
+        assert math.isinf(loaded.events[-1].recover_after)
+
+    def test_from_file_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_file(path)
+
+    def test_from_dict_reports_all_errors(self):
+        payload = {"events": [
+            {"kind": "crash", "time": -1, "replica": 0},
+            {"kind": "warp", "time": 0, "replica": 0},
+        ]}
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict(payload)
+        message = str(excinfo.value)
+        assert "events[0]" in message and "events[1]" in message
+
+
+class TestValidatePlanDict:
+    def test_valid_plan_no_errors(self):
+        payload = {"events": [
+            {"kind": "crash", "time": 1.0, "replica": 0,
+             "recover_after": 2.0},
+            {"kind": "slowdown", "time": 0.0, "replica": 1,
+             "duration": 5.0, "factor": 3.0},
+        ]}
+        assert validate_plan_dict(payload) == []
+
+    def test_not_an_object(self):
+        assert validate_plan_dict([1, 2]) != []
+
+    def test_missing_events_key(self):
+        errors = validate_plan_dict({})
+        assert any("events" in e for e in errors)
+
+    def test_replica_range_check(self):
+        payload = {"events": [{"kind": "crash", "time": 0, "replica": 5}]}
+        assert validate_plan_dict(payload) == []
+        errors = validate_plan_dict(payload, num_replicas=4)
+        assert any("out of range" in e for e in errors)
+
+    def test_rejects_bool_and_nonfinite_numbers(self):
+        payload = {"events": [
+            {"kind": "crash", "time": True, "replica": 0},
+            {"kind": "slowdown", "time": 0, "replica": 0,
+             "duration": float("inf")},
+        ]}
+        errors = validate_plan_dict(payload)
+        assert len(errors) >= 2
+
+    def test_rejects_unknown_keys(self):
+        payload = {"events": [
+            {"kind": "crash", "time": 0, "replica": 0, "blast": 9}
+        ], "comment": "hi"}
+        errors = validate_plan_dict(payload)
+        assert any("unknown top-level" in e for e in errors)
+        assert any("unknown keys" in e for e in errors)
+
+    def test_zero_duration_slowdown_rejected(self):
+        payload = {"events": [
+            {"kind": "slowdown", "time": 0, "replica": 0, "duration": 0}
+        ]}
+        assert any("duration" in e for e in validate_plan_dict(payload))
+
+
+class TestPoissonGenerator:
+    def test_deterministic_given_stream(self):
+        def draw():
+            rng = np.random.default_rng(17)
+            return FaultPlan.poisson(
+                num_replicas=4, duration=600.0, mtbf=120.0, mttr=20.0,
+                rng=rng,
+            )
+
+        assert draw() == draw()
+        assert len(draw()) > 0
+
+    def test_spare_replica_never_faults(self):
+        rng = np.random.default_rng(3)
+        plan = FaultPlan.poisson(
+            num_replicas=3, duration=2000.0, mtbf=100.0, mttr=10.0,
+            rng=rng,
+        )
+        assert 0 not in plan.replicas_touched()
+
+    def test_slowdowns_generated_when_asked(self):
+        rng = np.random.default_rng(5)
+        plan = FaultPlan.poisson(
+            num_replicas=2, duration=2000.0, mtbf=500.0, mttr=10.0,
+            rng=rng, slowdown_mtbf=200.0,
+        )
+        kinds = {e.kind for e in plan.events}
+        assert "slowdown" in kinds
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            FaultPlan.poisson(0, 10.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            FaultPlan.poisson(2, 10.0, -1.0, 1.0, rng)
+
+
+class TestDefaultPlan:
+    def test_install_and_restore(self):
+        plan = FaultPlan(events=(ReplicaCrash(time=1.0, replica_id=0),))
+        previous = set_default_fault_plan(plan)
+        try:
+            assert get_default_fault_plan() is plan
+        finally:
+            set_default_fault_plan(previous)
+        assert get_default_fault_plan() is previous
+
+
+class TestRetryPolicy:
+    def test_backoff_caps(self):
+        policy = RetryPolicy(max_attempts=5, base_backoff=1.0,
+                             backoff_factor=2.0, max_backoff=3.0)
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 3.0  # capped
+        assert policy.backoff(10) == 3.0
+
+    def test_zero_attempts_no_wait(self):
+        assert RetryPolicy().backoff(0) == 0.0
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=2.0, max_backoff=1.0)
+
+
+class TestResilienceConfig:
+    def test_degradation_levels(self):
+        config = ResilienceConfig(shed_free_below=0.75,
+                                  shed_batch_below=0.25)
+        assert config.degradation_level(1.0) == 0
+        assert config.degradation_level(0.75) == 0  # threshold is strict
+        assert config.degradation_level(0.5) == 1
+        assert config.degradation_level(0.2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(abandonment_factor=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(shed_free_below=1.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(shed_free_below=0.2, shed_batch_below=0.5)
+
+    def test_none_disables_abandonment(self):
+        assert ResilienceConfig(abandonment_factor=None).abandonment_factor \
+            is None
+
+
+class _RecordingTarget:
+    def __init__(self):
+        self.calls = []
+
+    def on_replica_crash(self, replica_id):
+        self.calls.append(("crash", replica_id))
+
+    def on_replica_recover(self, replica_id):
+        self.calls.append(("recover", replica_id))
+
+    def on_replica_slowdown(self, replica_id, factor):
+        self.calls.append(("slowdown", replica_id, factor))
+
+
+class TestFaultInjector:
+    def test_replays_plan_in_order(self):
+        sim = Simulator()
+        target = _RecordingTarget()
+        plan = FaultPlan(events=(
+            ReplicaCrash(time=1.0, replica_id=0, recover_after=2.0),
+            ReplicaSlowdownFault(time=2.0, replica_id=1, duration=1.5,
+                                 factor=4.0),
+        ))
+        armed = FaultInjector(sim, target, plan).arm()
+        assert armed == 4  # crash+recover, slowdown start+end
+        sim.run()
+        assert target.calls == [
+            ("crash", 0),
+            ("slowdown", 1, 4.0),
+            ("recover", 0),
+            ("slowdown", 1, 1.0),
+        ]
+
+    def test_empty_plan_schedules_nothing(self):
+        sim = Simulator()
+        assert FaultInjector(sim, _RecordingTarget(), FaultPlan()).arm() == 0
+        assert sim.pending_events == 0
+
+    def test_arm_is_idempotent(self):
+        sim = Simulator()
+        plan = FaultPlan(events=(ReplicaCrash(time=1.0, replica_id=0),))
+        injector = FaultInjector(sim, _RecordingTarget(), plan)
+        assert injector.arm() == 1
+        assert injector.arm() == 0
+        assert sim.pending_events == 1
+
+    def test_crash_without_recovery_schedules_one_event(self):
+        sim = Simulator()
+        plan = FaultPlan(events=(ReplicaCrash(time=1.0, replica_id=0),))
+        assert FaultInjector(sim, _RecordingTarget(), plan).arm() == 1
+
+    def test_faults_fire_before_same_time_work(self):
+        sim = Simulator()
+        order = []
+
+        class Target:
+            def on_replica_crash(self, replica_id):
+                order.append("crash")
+
+            def on_replica_recover(self, replica_id):
+                order.append("recover")
+
+            def on_replica_slowdown(self, replica_id, factor):
+                order.append("slowdown")
+
+        # Work is scheduled *before* the fault is armed, at the same
+        # timestamp; FAULT_PRIORITY (< 0) still makes the crash win.
+        sim.schedule(1.0, lambda: order.append("work"))
+        plan = FaultPlan(events=(ReplicaCrash(time=1.0, replica_id=0),))
+        FaultInjector(sim, Target(), plan).arm()
+        assert FAULT_PRIORITY < 0
+        sim.run()
+        assert order == ["crash", "work"]
+
+    def test_past_time_fault_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        plan = FaultPlan(events=(ReplicaCrash(time=1.0, replica_id=0),))
+        injector = FaultInjector(sim, _RecordingTarget(), plan)
+        with pytest.raises(ValueError, match="in the past"):
+            injector.arm()

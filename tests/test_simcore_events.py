@@ -82,3 +82,71 @@ class TestEventQueueBehaviour:
         a = Event(time=1.0, priority=0, seq=0)
         b = Event(time=1.0, priority=0, seq=1)
         assert a < b
+
+
+class TestCancellationSemantics:
+    """The lazy-deletion contract the fault layer's watchdogs rely on:
+    a cancelled event never fires and never stretches the clock."""
+
+    def test_cancelled_event_never_fires(self):
+        from repro.simcore import Simulator
+
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5.0, lambda: fired.append("watchdog"))
+        sim.schedule(1.0, lambda: fired.append("work"))
+        handle.cancel()
+        sim.run()
+        assert fired == ["work"]
+        # The drain clock stops at the last *live* event, not at the
+        # cancelled one's timestamp.
+        assert sim.now == 1.0
+
+    def test_cancel_from_earlier_callback(self):
+        """Cancelling inside a callback that fires before the target —
+        exactly how a completion disarms its deadline watchdog."""
+        from repro.simcore import Simulator
+
+        sim = Simulator()
+        fired = []
+        watchdog = sim.schedule(10.0, lambda: fired.append("abandon"))
+        sim.schedule(2.0, lambda: watchdog.cancel())
+        sim.run()
+        assert fired == []
+        assert sim.now == 2.0
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        live = q.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+        assert q.pop() is live
+
+    def test_heap_stays_consistent_after_cancel(self):
+        """Cancellation must not reorder or lose the surviving events,
+        and lazily-removed entries drop out of the length count."""
+        q = EventQueue()
+        events = [q.push(float(t), lambda: None) for t in range(10)]
+        for e in events[::2]:  # cancel the even-timestamp half
+            e.cancel()
+        assert len(q) == 10  # lazy: cancelled entries still on heap
+        survivors = []
+        while q:
+            try:
+                survivors.append(q.pop().time)
+            except IndexError:
+                break
+        assert survivors == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_peek_time_prunes_cancelled_prefix(self):
+        q = EventQueue()
+        doomed = [q.push(float(t), lambda: None) for t in range(5)]
+        keeper = q.push(99.0, lambda: None)
+        for e in doomed:
+            e.cancel()
+        assert q.peek_time() == 99.0
+        # peek_time popped the cancelled prefix off the heap for real.
+        assert len(q) == 1
+        assert q.pop() is keeper
