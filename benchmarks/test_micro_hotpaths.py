@@ -76,6 +76,40 @@ def test_forest_predict(benchmark):
     assert result > 0
 
 
+def test_forest_predict_pertree(benchmark):
+    """Reference per-tree scalar prediction (the pre-fused path)."""
+    from repro.perfmodel.profiler import batch_features
+
+    forest = cached_forest_predictor(EM).forest
+    features = batch_features(BatchShape([PrefillChunk(512, 1024)], 64,
+                                         64 * 1500))
+    result = benchmark(forest.predict_one_pertree, features, quantile=0.75)
+    assert result > 0
+
+
+def test_forest_predict_fused(benchmark):
+    """Fused flat-array scalar prediction (memo-miss inner loop)."""
+    from repro.perfmodel.profiler import batch_features
+
+    forest = cached_forest_predictor(EM).forest
+    features = batch_features(BatchShape([PrefillChunk(512, 1024)], 64,
+                                         64 * 1500))
+    result = benchmark(forest.predict_one, features, quantile=0.75)
+    assert result > 0
+
+
+def test_forest_predict_batch(benchmark):
+    """Vectorized many-row prediction (validation / training error)."""
+    from repro.perfmodel.profiler import batch_features
+
+    forest = cached_forest_predictor(EM).forest
+    features = batch_features(BatchShape([PrefillChunk(512, 1024)], 64,
+                                         64 * 1500))
+    rows = np.asarray([features] * 512)
+    result = benchmark(forest.predict_batch, rows, quantile=0.75)
+    assert result.shape == (512,)
+
+
 def test_dynamic_chunker_budget(benchmark):
     """Full chunk-size inversion against the oracle predictor."""
     chunker = DynamicChunker(OracleBatchPredictor(EM))

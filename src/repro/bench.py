@@ -1,0 +1,276 @@
+"""Perf-trajectory harness: pinned workloads timed release over release.
+
+``repro bench`` times a fixed set of hot paths — the ones the fast-path
+engine work optimizes — plus one end-to-end replica trace and a tiny
+figure-10/11 sweep, and writes the measurements to ``BENCH_<n>.json``
+at the repository root.  Committing one report per perf-focused change
+turns the repo history into a performance trajectory: any regression
+shows up as two adjacent files disagreeing on the same pinned workload.
+
+The pinned micro workloads:
+
+* ``forest_predict_pertree``  — reference per-tree scalar prediction
+* ``forest_predict_fused``    — fused flat-array scalar prediction
+* ``forest_predict_batch``    — vectorized batch prediction (per row)
+* ``predictor_memo_hit``      — :class:`ForestBatchPredictor` memo path
+* ``chunker_prefill_budget``  — dynamic chunking incl. warm-started
+  budget inversion
+* ``execution_batch_time``    — analytical batch latency
+* ``execution_prefill_time``  — memoized prefill-time lookup
+
+All workloads are deterministic; wall-clock numbers obviously vary by
+host, which is why each report embeds the host fingerprint (CPU count,
+Python/NumPy versions).  Compare reports only within one host class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+SCHEMA_VERSION = 1
+
+#: Repo root (``src/repro/bench.py`` -> two levels up from ``repro``).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Pinned sweep grid for the end-to-end benchmark (a miniature of the
+#: Figure 10/11 load sweep; small enough for CI, big enough to touch
+#: every layer: trace build, scheduling, chunking, forest inference).
+SWEEP_SCHEMES = ("fcfs", "qoserve")
+SWEEP_LOADS = (2.0, 3.0)
+
+
+def _timeit(
+    fn: Callable[[], Any], *, reps: int, loops: int
+) -> dict[str, float]:
+    """Best-of-``reps`` mean time per call over ``loops`` calls.
+
+    Best-of (not mean-of-reps) is the standard noise filter for micro
+    benchmarks: scheduling hiccups only ever make a rep slower.
+    """
+    fn()  # warm caches, JIT-free but memo-ful paths stabilize
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed / loops)
+    return {"best_us": best * 1e6, "reps": reps, "loops": loops}
+
+
+def _micro_benchmarks(quick: bool) -> dict[str, dict[str, float]]:
+    import numpy as np
+
+    from repro.core.predictor import cached_forest_predictor
+    from repro.core.chunking import DynamicChunker
+    from repro.experiments.configs import get_execution_model
+    from repro.perfmodel.execution import BatchShape, PrefillChunk
+    from repro.perfmodel.profiler import batch_features
+    from repro.workload.datasets import AZURE_CODE
+    from repro.experiments.runner import build_trace
+
+    execution_model = get_execution_model("llama3-8b")
+    predictor = cached_forest_predictor(execution_model)
+    forest = predictor.forest
+    quantile = predictor.quantile
+
+    reps = 3 if quick else 5
+    loops = 200 if quick else 1000
+
+    # A representative mixed batch: one mid-size chunk + a decode pool.
+    shape = BatchShape(
+        prefill_chunks=[PrefillChunk(512, 1024)],
+        num_decodes=24,
+        decode_context_total=24 * 900,
+    )
+    features = batch_features(shape)
+    rows = np.asarray([features] * 256, dtype=np.float64)
+
+    results: dict[str, dict[str, float]] = {}
+    results["forest_predict_pertree"] = _timeit(
+        lambda: forest.predict_one_pertree(features, quantile=quantile),
+        reps=reps, loops=loops,
+    )
+    results["forest_predict_fused"] = _timeit(
+        lambda: forest.predict_one(features, quantile=quantile),
+        reps=reps, loops=loops,
+    )
+    batch = _timeit(
+        lambda: forest.predict_batch(rows, quantile=quantile),
+        reps=reps, loops=max(1, loops // 50),
+    )
+    batch["best_us_per_row"] = batch["best_us"] / len(rows)
+    results["forest_predict_batch"] = batch
+    results["predictor_memo_hit"] = _timeit(
+        lambda: predictor.predict(shape), reps=reps, loops=loops,
+    )
+
+    # The chunker exercised the way the engine does: same decode pool,
+    # advancing clock, so the warm-started inversion path is active.
+    trace = build_trace(AZURE_CODE, qps=1.0, num_requests=40, seed=7)
+    decodes = []
+    for request in trace.requests[:16]:
+        request.prefill_done = request.prompt_tokens
+        request.first_token_time = request.arrival_time
+        decodes.append(request)
+    chunker = DynamicChunker(predictor)
+    clock = {"now": 0.0}
+
+    def chunk_once() -> None:
+        clock["now"] += 0.001
+        chunker.prefill_budget(
+            clock["now"], decodes, prefill_context_before=256,
+            decode_context_total=sum(r.context_length for r in decodes),
+        )
+
+    results["chunker_prefill_budget"] = _timeit(
+        chunk_once, reps=reps, loops=max(1, loops // 5),
+    )
+    results["execution_batch_time"] = _timeit(
+        lambda: execution_model.batch_time(shape), reps=reps, loops=loops,
+    )
+    results["execution_prefill_time"] = _timeit(
+        lambda: execution_model.prefill_time(2048, 512),
+        reps=reps, loops=loops,
+    )
+    return results
+
+
+def _end_to_end_benchmark(quick: bool) -> dict[str, Any]:
+    """One full replica trace under the QoServe scheduler."""
+    from repro.experiments.configs import get_execution_model
+    from repro.experiments.runner import (
+        build_trace,
+        make_scheduler,
+        run_replica_trace,
+    )
+    from repro.workload.datasets import AZURE_CODE
+
+    execution_model = get_execution_model("llama3-8b")
+    num_requests = 60 if quick else 150
+    base = build_trace(
+        AZURE_CODE, qps=1.0, num_requests=num_requests, seed=42
+    )
+    trace = base.scaled_arrivals(3.0)
+
+    started = time.perf_counter()
+    scheduler = make_scheduler("qoserve", execution_model)
+    summary, _ = run_replica_trace(execution_model, scheduler, trace)
+    elapsed = time.perf_counter() - started
+    return {
+        "workload": "AzCode qps=3.0 qoserve",
+        "num_requests": num_requests,
+        "wall_s": elapsed,
+        "completed": summary.finished,
+    }
+
+
+def _sweep_benchmark(quick: bool, jobs: int | None) -> dict[str, Any]:
+    """The pinned mini fig10/11 sweep: serial vs ``jobs`` workers.
+
+    Rows must be identical at any job count; the report records the
+    comparison so CI can assert determinism alongside the timings.
+    """
+    from repro.experiments import fig10_11_load_sweep as sweep
+    from repro.experiments.configs import Scale
+
+    scale = Scale(
+        num_requests=40 if quick else 120,
+        min_duration_s=0.0,
+        seed=42,
+        label="bench-pinned",
+    )
+    if jobs is None:
+        jobs = min(4, os.cpu_count() or 1)
+    jobs = max(1, jobs)
+
+    started = time.perf_counter()
+    serial = sweep.run(
+        scale, schemes=SWEEP_SCHEMES, loads=SWEEP_LOADS, jobs=1
+    )
+    serial_s = time.perf_counter() - started
+
+    report: dict[str, Any] = {
+        "grid": f"{len(SWEEP_SCHEMES)} schemes x {len(SWEEP_LOADS)} loads",
+        "num_requests": scale.num_requests,
+        "serial_s": serial_s,
+        "jobs": jobs,
+    }
+    if jobs > 1:
+        started = time.perf_counter()
+        parallel = sweep.run(
+            scale, schemes=SWEEP_SCHEMES, loads=SWEEP_LOADS, jobs=jobs
+        )
+        report["parallel_s"] = time.perf_counter() - started
+        report["rows_identical"] = parallel.rows == serial.rows
+        if (os.cpu_count() or 1) < 2:
+            report["note"] = (
+                "single-CPU host: worker processes timeshare one "
+                "core, so parallel_s measures pool overhead, not "
+                "speedup; rows_identical is the meaningful signal"
+            )
+    return report
+
+
+def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
+    """Run the full pinned-workload suite and return the report dict."""
+    import numpy as np
+
+    micro = _micro_benchmarks(quick)
+    end_to_end = _end_to_end_benchmark(quick)
+    sweep = _sweep_benchmark(quick, jobs)
+
+    pertree = micro["forest_predict_pertree"]["best_us"]
+    fused = micro["forest_predict_fused"]["best_us"]
+    per_row = micro["forest_predict_batch"]["best_us_per_row"]
+    derived = {
+        "fused_scalar_speedup_vs_pertree": pertree / fused,
+        "fused_batch_speedup_vs_pertree": pertree / per_row,
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "quick": quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "micro_us": micro,
+        "derived": derived,
+        "end_to_end": end_to_end,
+        "sweep": sweep,
+    }
+
+
+def next_bench_path(root: Path = REPO_ROOT) -> Path:
+    """First free ``BENCH_<n>.json`` slot at the repo root."""
+    taken = set()
+    for path in root.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            taken.add(int(match.group(1)))
+    index = 1
+    while index in taken:
+        index += 1
+    return root / f"BENCH_{index:03d}.json"
+
+
+def write_bench(report: dict, out: Path | None = None) -> Path:
+    """Write ``report`` to ``out`` or the next free ``BENCH_<n>.json``."""
+    path = out if out is not None else next_bench_path()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+if __name__ == "__main__":
+    result = run_bench(quick="--quick" in sys.argv)
+    print(json.dumps(result, indent=2, sort_keys=True))

@@ -160,6 +160,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault schedule (see docs/RESILIENCE.md) injected "
              "into fault-aware experiments",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for experiment grid fan-out "
+             "(default: 1 = serial; results are byte-identical at "
+             "any job count)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="disk-backed run cache for experiment cells (default: "
+             "disabled; see docs/PERFORMANCE.md for invalidation)",
+    )
+    bench_parser = sub.add_parser(
+        "bench", help="perf-trajectory benchmark harness"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions and a smaller end-to-end trace "
+             "(CI smoke mode)",
+    )
+    bench_parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write results to FILE instead of the next free "
+             "BENCH_<n>.json at the repo root",
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="job count for the sweep benchmark (default: min(4, "
+             "cpu_count))",
+    )
     faults_parser = sub.add_parser(
         "faults", help="fault-plan tooling (repro.faults)"
     )
@@ -240,6 +269,9 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "faults":
         return _faults_command(args)
 
+    if args.command == "bench":
+        return _bench_command(args)
+
     names = list(args.experiments)
     if names == ["all"]:
         names = list(registry)
@@ -251,6 +283,21 @@ def _main(argv: list[str] | None = None) -> int:
         return 2
 
     scale = SCALES[args.scale]
+    from repro.experiments.parallel import (
+        ParallelConfig,
+        set_parallel_config,
+    )
+
+    if args.cache_dir is not None:
+        # Fail fast with a clean message rather than mid-sweep inside
+        # a worker process.
+        try:
+            args.cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            return _path_error("create --cache-dir", error)
+    set_parallel_config(
+        ParallelConfig(jobs=max(1, args.jobs), cache_dir=args.cache_dir)
+    )
     fault_plan = None
     if args.fault_plan is not None:
         from repro.faults import (
@@ -320,6 +367,19 @@ def _path_error(context: str, error: Exception) -> int:
     """
     print(f"cannot {context}: {error}", file=sys.stderr)
     return 1
+
+
+def _bench_command(args) -> int:
+    """Implement ``repro bench``: run the perf-trajectory harness."""
+    from repro.bench import run_bench, write_bench
+
+    report = run_bench(quick=args.quick, jobs=args.jobs)
+    try:
+        path = write_bench(report, out=args.out)
+    except OSError as error:
+        return _path_error("write bench report", error)
+    print(f"benchmark report written to {path}")
+    return 0
 
 
 def _faults_command(args) -> int:

@@ -68,6 +68,13 @@ class DynamicChunker:
         #: Observability hooks; every chosen budget is reported via
         #: :meth:`Observer.on_chunk_sized` (no-op by default).
         self.observer: Observer = NULL_OBSERVER
+        # Warm-start state: the (lo, hi) bracket the previous binary
+        # search converged to.  The predictor is monotone in chunk
+        # size (the same assumption the binary search itself rests
+        # on), so when the new budget still falls in this bracket the
+        # search would converge to the identical cell — we verify the
+        # bracket with two predictions and skip the search.
+        self._warm_bracket: tuple[int, int] | None = None
 
     def latency_budget(
         self, now: float, decode_requests: Iterable[Request]
@@ -106,6 +113,7 @@ class DynamicChunker:
         prefill_context_before: int = 0,
         extra_latency_budget: float | None = None,
         ignore_decode_slack: bool = False,
+        decode_context_total: int | None = None,
     ) -> ChunkDecision:
         """Choose the prefill token budget for the next iteration.
 
@@ -121,6 +129,9 @@ class DynamicChunker:
                 the time budget (Medha-style fixed-target chunking,
                 deadline-unaware); decode shapes still inform the
                 latency prediction.
+            decode_context_total: Precomputed sum of the decode
+                requests' context lengths (the engine tracks it
+                incrementally); ``None`` recomputes it here.
 
         Returns:
             The chosen budget; ``prefill_budget`` is 0 only when even
@@ -138,7 +149,11 @@ class DynamicChunker:
                 budget = min(budget, extra_latency_budget)
 
         num_decodes = len(decode_requests)
-        decode_context = sum(r.context_length for r in decode_requests)
+        decode_context = (
+            decode_context_total
+            if decode_context_total is not None
+            else sum(r.context_length for r in decode_requests)
+        )
 
         def predict(chunk: int) -> float:
             chunks = (
@@ -160,29 +175,48 @@ class DynamicChunker:
 
     def _decide(self, budget: float, predict) -> ChunkDecision:
         top = self.max_chunk
-        if budget == float("inf"):
-            return ChunkDecision(
-                prefill_budget=top,
-                latency_budget=budget,
-                predicted_latency=predict(top),
-            )
+        # One evaluation per distinct chunk size: the binary search
+        # re-visits its final point and both bracket ends, and the
+        # oracle predictor has no memo of its own to absorb that.
+        evaluated: dict[int, float] = {}
 
-        if predict(top) <= budget:
-            return ChunkDecision(top, budget, predict(top))
-        low_latency = predict(self.min_chunk)
+        def latency(chunk: int) -> float:
+            value = evaluated.get(chunk)
+            if value is None:
+                value = evaluated[chunk] = predict(chunk)
+            return value
+
+        top_latency = latency(top)
+        if budget == float("inf") or top_latency <= budget:
+            return ChunkDecision(top, budget, top_latency)
+        low_latency = latency(self.min_chunk)
         if low_latency > budget:
             # Even the floor chunk busts the budget; grant the floor
             # anyway so prefill work cannot be starved forever, and let
             # the violation checker deal with the fallout.
             return ChunkDecision(self.min_chunk, budget, low_latency)
 
+        # Warm start: consecutive iterations carry nearly the same
+        # batch, so the previous search's bracket usually still
+        # straddles the new budget.  The bracket cells are leaves of
+        # the fixed bisection lattice over [min_chunk, max_chunk], and
+        # the predictor is monotone in chunk size, so a verified
+        # bracket pins the exact cell a full search would land on —
+        # two predictions instead of ~log2(range/tolerance).
+        bracket = self._warm_bracket
+        if bracket is not None:
+            warm_lo, warm_hi = bracket
+            if latency(warm_lo) <= budget < latency(warm_hi):
+                return ChunkDecision(warm_lo, budget, latency(warm_lo))
+
         # Binary search for the largest chunk within budget.  The
         # forest is piecewise constant so we verify the final choice.
         lo, hi = self.min_chunk, top
         while hi - lo > self.search_tolerance:
             mid = (lo + hi) // 2
-            if predict(mid) <= budget:
+            if latency(mid) <= budget:
                 lo = mid
             else:
                 hi = mid
-        return ChunkDecision(lo, budget, predict(lo))
+        self._warm_bracket = (lo, hi)
+        return ChunkDecision(lo, budget, latency(lo))

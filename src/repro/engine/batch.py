@@ -41,8 +41,20 @@ class BatchPlan:
     def is_empty(self) -> bool:
         return not self.prefill_assignments and not self.decode_requests
 
-    def to_shape(self) -> BatchShape:
-        """Project the plan onto the execution model's batch shape."""
+    def to_shape(
+        self, decode_context_total: int | None = None
+    ) -> BatchShape:
+        """Project the plan onto the execution model's batch shape.
+
+        Args:
+            decode_context_total: Precomputed sum of the decode
+                requests' context lengths (the engine tracks this
+                incrementally); ``None`` recomputes it from scratch.
+        """
+        if decode_context_total is None:
+            decode_context_total = sum(
+                r.context_length for r in self.decode_requests
+            )
         return BatchShape(
             prefill_chunks=[
                 PrefillChunk(
@@ -52,9 +64,7 @@ class BatchPlan:
                 for a in self.prefill_assignments
             ],
             num_decodes=len(self.decode_requests),
-            decode_context_total=sum(
-                r.context_length for r in self.decode_requests
-            ),
+            decode_context_total=decode_context_total,
         )
 
 

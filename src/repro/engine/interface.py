@@ -33,6 +33,9 @@ class EngineView:
         inflight_prefill_ids: Request ids whose prefill has started but
             not completed; they already hold a decode slot.  Treat as
             read-only.
+        decode_context_total: Sum of ``decode_requests`` context
+            lengths, maintained incrementally by the engine; ``None``
+            (bare views built in tests) means "compute it yourself".
     """
 
     now: float
@@ -41,6 +44,7 @@ class EngineView:
     execution_model: ExecutionModel
     max_decode_slots: int
     inflight_prefill_ids: frozenset[int] = frozenset()
+    decode_context_total: int | None = None
 
 
 class Scheduler(ABC):

@@ -26,7 +26,7 @@ from repro.engine.interface import EngineView, Scheduler
 from repro.engine.kvcache import KVCacheManager
 from repro.obs.observer import NULL_OBSERVER, Observer, get_default_observer
 from repro.obs.timing import timed
-from repro.perfmodel.execution import ExecutionModel
+from repro.perfmodel.execution import BatchShape, ExecutionModel
 from repro.simcore.simulator import Simulator
 
 
@@ -94,6 +94,10 @@ class ReplicaEngine:
             block_size=self.config.kv_block_size,
         )
         self.decode_queue: list[Request] = []
+        # Incremental mirror of sum(r.context_length for r in
+        # decode_queue): adjusted on admit/evict/finish so the hot
+        # loop never re-aggregates the whole queue.
+        self._decode_context_total = 0
         self.completed: list[Request] = []
         self.submitted: list[Request] = []
         #: Requests refused at admission: their prompt plus decode
@@ -190,6 +194,7 @@ class ReplicaEngine:
                 return
             self.kv_cache.grow(request.request_id, context)
             self.decode_queue.append(request)
+            self._decode_context_total += context
             if request.scheduled_first_time is None:
                 request.scheduled_first_time = self.simulator.now
             self._pending_handoffs.popleft()
@@ -236,18 +241,24 @@ class ReplicaEngine:
     def _start_iteration(self) -> None:
         now = self.simulator.now
         self._reserve_decode_growth()
+        # One snapshot serves both the scheduler's view and the batch
+        # plan: plan_prefill never mutates the decode queue (the view
+        # is read-only by contract), so the lists would be identical.
+        decode_snapshot = list(self.decode_queue)
+        decode_context_total = self._decode_context_total
         view = EngineView(
             now=now,
-            decode_requests=list(self.decode_queue),
+            decode_requests=decode_snapshot,
             kv_cache=self.kv_cache,
             execution_model=self.execution_model,
             max_decode_slots=self.config.max_decode_slots,
             inflight_prefill_ids=frozenset(self._inflight_prefills),
+            decode_context_total=decode_context_total,
         )
         assignments = self.scheduler.plan_prefill(view)
         plan = BatchPlan(
             prefill_assignments=assignments,
-            decode_requests=list(self.decode_queue),
+            decode_requests=decode_snapshot,
         )
         if plan.is_empty:
             if (
@@ -268,7 +279,12 @@ class ReplicaEngine:
             if request.scheduled_first_time is None:
                 request.scheduled_first_time = now
 
-        exec_time = self.execution_model.batch_time(plan.to_shape())
+        # Token counts of snapshot members cannot change while the
+        # batch is in flight (they only move in _finish_iteration), so
+        # the shape computed here is also the one _finish_iteration
+        # records.
+        shape = plan.to_shape(decode_context_total)
+        exec_time = self.execution_model.batch_time(shape)
         if self.slowdown_factor != 1.0:
             # Transient straggler (fault injection): the replica runs,
             # just slower.  Guarded so the nominal path stays
@@ -284,7 +300,8 @@ class ReplicaEngine:
             self.replica_id, now, exec_time, plan, self.iterations_run
         )
         self._inflight_event = self.simulator.schedule_after(
-            exec_time, lambda: self._finish_iteration(plan, exec_time, now)
+            exec_time,
+            lambda: self._finish_iteration(plan, shape, exec_time, now),
         )
 
     def _reserve_decode_growth(self) -> None:
@@ -356,6 +373,7 @@ class ReplicaEngine:
         context_lost = request.context_length
         self.kv_cache.release(request.request_id)
         self.decode_queue.remove(request)
+        self._decode_context_total -= context_lost
         request.evict()
         self.decode_evictions += 1
         self.observer.on_decode_evicted(
@@ -365,13 +383,16 @@ class ReplicaEngine:
 
     @timed("engine.finish_iteration")
     def _finish_iteration(
-        self, plan: BatchPlan, exec_time: float, start_time: float
+        self,
+        plan: BatchPlan,
+        shape: BatchShape,
+        exec_time: float,
+        start_time: float,
     ) -> None:
         now = self.simulator.now
         self._inflight_event = None
         self.iterations_run += 1
         if self.config.record_iterations:
-            shape = plan.to_shape()
             self.iteration_records.append(
                 IterationRecord(
                     start_time=start_time,
@@ -388,6 +409,7 @@ class ReplicaEngine:
             if request not in self.decode_queue:
                 continue  # evicted while this iteration was in flight
             request.record_output_token(now)
+            self._decode_context_total += 1
             if request.is_finished:
                 self._complete(request, now)
 
@@ -423,10 +445,12 @@ class ReplicaEngine:
             self._complete(request, now)
         else:
             self.decode_queue.append(request)
+            self._decode_context_total += request.context_length
 
     def _complete(self, request: Request, now: float) -> None:
         if request in self.decode_queue:
             self.decode_queue.remove(request)
+            self._decode_context_total -= request.context_length
         self.kv_cache.release(request.request_id)
         self.completed.append(request)
         self.observer.on_request_completed(self.replica_id, request, now)
@@ -481,6 +505,7 @@ class ReplicaEngine:
             take(request)
 
         self.decode_queue.clear()
+        self._decode_context_total = 0
         self._stalled_requests.clear()
         self._pending_handoffs.clear()
         self._inflight_prefills.clear()
@@ -539,6 +564,7 @@ class ReplicaEngine:
         resident = False
         if request in self.decode_queue:
             self.decode_queue.remove(request)
+            self._decode_context_total -= request.context_length
             resident = True
         if request.request_id in self._inflight_prefills:
             self._inflight_prefills.discard(request.request_id)

@@ -1,0 +1,105 @@
+"""Disk-backed run cache: incremental re-runs of experiment grids.
+
+Every cell of an experiment grid is a pure function of its inputs —
+the deployment (model/hardware/TP), the scheduler kind and config, and
+the trace parameters (dataset, seed, QPS, size).  The cache keys a
+cell's JSON-serializable result by a content hash of exactly those
+inputs plus a schema version, so re-running a figure after an
+interrupted sweep (or with one new load point) only simulates the
+missing cells.
+
+Caching is *opt-in*: with no ``--cache-dir`` the cache object is
+``None`` and every cell recomputes, which keeps determinism audits
+(byte-identical outputs across runs) trivially honest.  Invalidation
+is equally blunt on purpose: delete the directory, or bump
+``SCHEMA_VERSION`` when a change to the simulator makes old entries
+semantically stale (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+#: Bump when simulator semantics change so stale entries never
+#: masquerade as fresh results.  Included in every cache key.
+SCHEMA_VERSION = 1
+
+
+class RunCache:
+    """Content-addressed JSON store for experiment cell results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(**parts: Any) -> str:
+        """Content hash of the cell inputs (order-insensitive)."""
+        payload = json.dumps(
+            {"schema": SCHEMA_VERSION, **parts},
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable on
+        # multi-thousand-cell sweeps.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any | None:
+        """Cached value for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            value = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` (must be JSON-serializable) atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(value))
+        os.replace(tmp, path)  # atomic: concurrent workers never tear
+
+    def cached(self, compute: Callable[[], Any], **parts: Any) -> Any:
+        """Return the cached result for ``parts``, computing on miss.
+
+        JSON round-trips preserve float64 exactly (repr-based), so a
+        hit renders byte-identically to the original computation.
+        """
+        key = self.key(**parts)
+        value = self.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+
+def active_cache() -> RunCache | None:
+    """The run cache selected by the process config, if any."""
+    from repro.experiments.parallel import get_parallel_config
+
+    cache_dir = get_parallel_config().cache_dir
+    if cache_dir is None:
+        return None
+    return RunCache(cache_dir)
+
+
+def cached_cell(compute: Callable[[], Any], **parts: Any) -> Any:
+    """Convenience wrapper: compute through the active cache, if any."""
+    cache = active_cache()
+    if cache is None:
+        return compute()
+    return cache.cached(compute, **parts)

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from repro.cluster.disagg import DisaggregatedDeployment
 from repro.cluster.capacity import find_max_goodput, CapacityResult
+from repro.experiments.cache import cached_cell
 from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.parallel import pmap
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import build_trace, scheduler_factory
 from repro.metrics.summary import RunSummary
@@ -32,16 +34,16 @@ MIN_PROBE_DURATION = 300.0
 def _disagg_goodput(
     scheme: str,
     execution_model: ExecutionModel,
-    scale: Scale,
+    num_requests: int,
+    seed: int,
 ) -> CapacityResult:
     # Every probe spans at least MIN_PROBE_DURATION simulated seconds:
     # a short burst at high QPS hides beyond-capacity operation in the
     # long-TTLT tiers and the drain (same flooring goodput_search
     # applies for colocated capacity).
-    max_requests = max(scale.num_requests,
-                       int(QPS_HIGH * MIN_PROBE_DURATION))
+    max_requests = max(num_requests, int(QPS_HIGH * MIN_PROBE_DURATION))
     base = build_trace(
-        AZURE_CONV, qps=1.0, num_requests=max_requests, seed=scale.seed
+        AZURE_CONV, qps=1.0, num_requests=max_requests, seed=seed
     )
     if scheme == "qoserve":
         kwargs = {
@@ -58,7 +60,7 @@ def _disagg_goodput(
             scheduler_factory(scheme, execution_model, **kwargs),
             num_prefill_replicas=1,
         )
-        needed = max(scale.num_requests, int(qps * MIN_PROBE_DURATION))
+        needed = max(num_requests, int(qps * MIN_PROBE_DURATION))
         trace = base.scaled_arrivals(qps)
         if needed < len(trace):
             trace = Trace(
@@ -77,12 +79,44 @@ def _disagg_goodput(
     return find_max_goodput(evaluate, qps_high=QPS_HIGH, tolerance=0.2)
 
 
+def _disagg_cell(task: tuple[str, str, int, int]) -> dict:
+    """One (deployment, scheme) disaggregated goodput bisection."""
+    deployment_name, scheme, num_requests, seed = task
+
+    def compute() -> dict:
+        capacity = _disagg_goodput(
+            scheme, get_execution_model(deployment_name), num_requests, seed
+        )
+        return {
+            "deployment": deployment_name,
+            "scheme": f"Disagg-{scheme.upper()}"
+            if scheme in ("fcfs", "edf")
+            else "Disagg-QoServe",
+            "goodput_qps": capacity.max_qps,
+        }
+
+    return cached_cell(
+        compute,
+        figure="fig08",
+        deployment=deployment_name,
+        scheme=scheme,
+        chunk=DISAGG_CHUNK,
+        num_requests=num_requests,
+        seed=seed,
+    )
+
+
 def run(
     scale: Scale = BENCH,
     deployments: tuple[str, ...] = DEFAULT_DEPLOYMENTS,
     schemes: tuple[str, ...] = SCHEMES,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Reproduce Figure 8's disaggregated prefill goodput."""
+    """Reproduce Figure 8's disaggregated prefill goodput.
+
+    Each (deployment, scheme) bisection is independent and fans out
+    over ``jobs`` worker processes (``None`` reads ``--jobs``).
+    """
     result = ExperimentResult(
         experiment="figure-08",
         title="Max goodput per prefill replica, PD disaggregation",
@@ -91,19 +125,14 @@ def run(
             "decode pool identical across schemes"
         ],
     )
-    for deployment_name in deployments:
-        execution_model = get_execution_model(deployment_name)
-        for scheme in schemes:
-            capacity = _disagg_goodput(scheme, execution_model, scale)
-            result.rows.append(
-                {
-                    "deployment": deployment_name,
-                    "scheme": f"Disagg-{scheme.upper()}"
-                    if scheme in ("fcfs", "edf")
-                    else "Disagg-QoServe",
-                    "goodput_qps": capacity.max_qps,
-                }
-            )
+    tasks = [
+        (deployment_name, scheme, scale.num_requests, scale.seed)
+        for deployment_name in deployments
+        for scheme in schemes
+    ]
+    result.rows.extend(
+        pmap(_disagg_cell, tasks, jobs=jobs, warm_deployments=deployments)
+    )
     return result
 
 

@@ -8,7 +8,11 @@ Sarathi-SRPF, Sarathi-EDF and QoServe on the Azure Code trace.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from repro.experiments.cache import cached_cell
 from repro.experiments.configs import BENCH, Scale, get_execution_model
+from repro.experiments.parallel import pmap
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import build_trace, make_scheduler, run_replica_trace
 from repro.metrics.latency import latency_percentiles
@@ -18,52 +22,88 @@ SCHEMES = ("fcfs", "srpf", "edf", "qoserve")
 DEFAULT_LOADS = (2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0)
 
 
+@lru_cache(maxsize=4)
+def _base_trace(num_requests: int, seed: int):
+    """Per-process base trace (deterministic, so identical in every
+    worker); scaled_arrivals clones it fresh per cell."""
+    return build_trace(
+        AZURE_CODE, qps=1.0, num_requests=num_requests, seed=seed
+    )
+
+
+def _sweep_cell(task: tuple[str, str, float, int, int]) -> dict:
+    """One (scheme, qps) cell of the sweep; a pmap worker function."""
+    deployment, scheme, qps, num_requests, seed = task
+
+    def compute() -> dict:
+        execution_model = get_execution_model(deployment)
+        trace = _base_trace(num_requests, seed).scaled_arrivals(qps)
+        scheduler = make_scheduler(scheme, execution_model)
+        summary, _ = run_replica_trace(execution_model, scheduler, trace)
+        row = {
+            "scheme": f"Sarathi-{scheme.upper()}"
+            if scheme != "qoserve"
+            else "QoServe",
+            "qps": qps,
+        }
+        for tier in ("Q1", "Q2", "Q3"):
+            tier_requests = [r for r in trace if r.qos.name == tier]
+            pcts = latency_percentiles(tier_requests, (0.50, 0.95))
+            row[f"{tier.lower()}_p50_s"] = pcts[0.50]
+            row[f"{tier.lower()}_p95_s"] = pcts[0.95]
+        violations = summary.violations
+        row.update(
+            {
+                "viol_overall_pct": violations.overall_pct,
+                "viol_short_pct": violations.short_pct,
+                "viol_long_pct": violations.long_pct,
+                "viol_q1_pct": violations.tier("Q1"),
+                "viol_q2_pct": violations.tier("Q2"),
+                "viol_q3_pct": violations.tier("Q3"),
+                "tbt_miss_pct": violations.tbt_miss_pct,
+            }
+        )
+        return row
+
+    return cached_cell(
+        compute,
+        figure="fig10_11",
+        dataset=AZURE_CODE.name,
+        deployment=deployment,
+        scheme=scheme,
+        qps=qps,
+        num_requests=num_requests,
+        seed=seed,
+    )
+
+
 def run(
     scale: Scale = BENCH,
     schemes: tuple[str, ...] = SCHEMES,
     loads: tuple[float, ...] = DEFAULT_LOADS,
     deployment: str = "llama3-8b",
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Run the combined Figure 10/11 sweep."""
-    execution_model = get_execution_model(deployment)
-    base = build_trace(
-        AZURE_CODE, qps=1.0, num_requests=scale.requests_for(max(loads)),
-        seed=scale.seed
-    )
+    """Run the combined Figure 10/11 sweep.
+
+    The scheme x QPS grid fans out over ``jobs`` worker processes
+    (``None`` reads the process-wide ``--jobs`` setting); results are
+    ordered by task, so the table is byte-identical at any job count.
+    """
+    num_requests = scale.requests_for(max(loads))
     result = ExperimentResult(
         experiment="figure-10-11",
         title="Latency and deadline violations vs load (AzCode)",
         notes=[f"scale={scale.label}; deployment={deployment}"],
     )
-    for scheme in schemes:
-        for qps in loads:
-            trace = base.scaled_arrivals(qps)
-            scheduler = make_scheduler(scheme, execution_model)
-            summary, _ = run_replica_trace(execution_model, scheduler, trace)
-            row = {
-                "scheme": f"Sarathi-{scheme.upper()}"
-                if scheme != "qoserve"
-                else "QoServe",
-                "qps": qps,
-            }
-            for tier in ("Q1", "Q2", "Q3"):
-                tier_requests = [r for r in trace if r.qos.name == tier]
-                pcts = latency_percentiles(tier_requests, (0.50, 0.95))
-                row[f"{tier.lower()}_p50_s"] = pcts[0.50]
-                row[f"{tier.lower()}_p95_s"] = pcts[0.95]
-            violations = summary.violations
-            row.update(
-                {
-                    "viol_overall_pct": violations.overall_pct,
-                    "viol_short_pct": violations.short_pct,
-                    "viol_long_pct": violations.long_pct,
-                    "viol_q1_pct": violations.tier("Q1"),
-                    "viol_q2_pct": violations.tier("Q2"),
-                    "viol_q3_pct": violations.tier("Q3"),
-                    "tbt_miss_pct": violations.tbt_miss_pct,
-                }
-            )
-            result.rows.append(row)
+    tasks = [
+        (deployment, scheme, qps, num_requests, scale.seed)
+        for scheme in schemes
+        for qps in loads
+    ]
+    result.rows.extend(
+        pmap(_sweep_cell, tasks, jobs=jobs, warm_deployments=(deployment,))
+    )
     return result
 
 

@@ -1,0 +1,125 @@
+"""Parallel experiment fan-out: a deterministic ``pmap`` over processes.
+
+Experiment grids (scheme x QPS in the Figure 10/11 load sweep, the
+goodput bisections of Figures 7/8, Table 5's ablation rows) are
+embarrassingly parallel: every cell builds its own trace, scheduler
+and engine from plain parameters.  This module provides the one
+primitive they share:
+
+* :func:`pmap` — map a module-level function over a list of picklable
+  task tuples with a process pool.  Results always come back in task
+  order (so serial and parallel runs render byte-identical tables),
+  each worker warms the in-process forest-predictor cache once before
+  taking tasks, and anything that prevents the pool from starting
+  (sandboxed environments without semaphores, ``jobs=1``) falls back
+  to a plain serial loop.
+
+The process-wide :class:`ParallelConfig` is set once by the CLI
+(``--jobs``, ``--cache-dir``) and read by the experiment drivers, so
+their ``run(...)`` signatures stay unchanged for library callers.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Process-wide execution knobs for the experiment layer.
+
+    Attributes:
+        jobs: Worker processes for grid fan-out (1 = serial).
+        cache_dir: Root of the disk-backed run cache; ``None``
+            disables caching entirely (the hermetic default).
+    """
+
+    jobs: int = 1
+    cache_dir: Path | None = None
+
+
+_CONFIG = ParallelConfig()
+
+
+def set_parallel_config(config: ParallelConfig) -> None:
+    """Install the process-wide config (the CLI calls this once)."""
+    global _CONFIG
+    _CONFIG = config
+
+
+def get_parallel_config() -> ParallelConfig:
+    return _CONFIG
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """An explicit ``jobs`` argument wins; ``None`` reads the config."""
+    if jobs is None:
+        jobs = _CONFIG.jobs
+    return max(1, int(jobs))
+
+
+def _warm_worker(deployments: tuple[str, ...]) -> None:
+    """Pool initializer: train each deployment's forest predictor once.
+
+    Forest training is deterministic but takes CPU-seconds; warming it
+    in the initializer keeps it off the critical path of the first
+    task each worker receives.  With a fork start method the parent's
+    already-trained cache is inherited and this is nearly free.
+    """
+    from repro.core.predictor import cached_forest_predictor
+    from repro.experiments.configs import get_execution_model
+
+    for name in deployments:
+        cached_forest_predictor(get_execution_model(name))
+
+
+def pmap(
+    fn: Callable[[T], R],
+    tasks: Iterable[T],
+    jobs: int | None = None,
+    warm_deployments: Sequence[str] = (),
+) -> list[R]:
+    """Map ``fn`` over ``tasks`` with deterministic result ordering.
+
+    Args:
+        fn: A *module-level* function (it crosses a process boundary).
+        tasks: Task descriptions; must be picklable.
+        jobs: Worker processes; ``None`` reads the process config, and
+            ``1`` (the default config) runs a plain serial loop.
+        warm_deployments: Deployment names whose forest predictors each
+            worker trains before taking tasks.
+
+    Returns:
+        ``[fn(t) for t in tasks]`` — the parallel path preserves task
+        order, so results are independent of worker scheduling.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_warm_worker,
+            initargs=(tuple(warm_deployments),),
+        ) as pool:
+            return list(pool.map(fn, tasks))
+    except (OSError, PermissionError, ImportError) as error:
+        # No usable process pool here (sandbox without /dev/shm
+        # semaphores, restricted fork, ...): degrade to serial rather
+        # than failing the experiment; results are identical.
+        print(
+            f"pmap: process pool unavailable ({error}); "
+            "falling back to serial execution",
+            file=sys.stderr,
+        )
+        return [fn(task) for task in tasks]

@@ -11,5 +11,6 @@ under-predicting chunk size" (over-predicting latency).
 
 from repro.forest.tree import DecisionTreeRegressor
 from repro.forest.forest import RandomForestRegressor
+from repro.forest.fused import FusedForest
 
-__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor", "FusedForest"]

@@ -8,8 +8,11 @@ under-prediction tuning described in Section 3.6.1 of the paper.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.forest.fused import FusedForest
 from repro.forest.tree import DecisionTreeRegressor
 
 
@@ -39,6 +42,7 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.seed = seed
         self._trees: list[DecisionTreeRegressor] = []
+        self._fused: FusedForest | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -65,7 +69,46 @@ class RandomForestRegressor:
             )
             tree.fit(x[sample], y[sample])
             self._trees.append(tree)
+        self._fused = None  # stale node tables; rebuilt lazily
         return self
+
+    @property
+    def fused(self) -> FusedForest:
+        """Stacked flat-array evaluator over all trees (lazily built)."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        if self._fused is None:
+            self._fused = FusedForest(self._trees)
+        return self._fused
+
+    @staticmethod
+    def _aggregate(votes: list[float], quantile: float | None) -> float:
+        """Collapse per-tree votes; shared by every prediction path so
+        the fused evaluators stay bit-identical to the per-tree one.
+
+        The quantile branch hand-rolls ``np.quantile(votes, q)`` with
+        the default linear interpolation — same arithmetic (including
+        the ``gamma >= 0.5`` lerp form NumPy uses for floating-point
+        symmetry), so the result is bit-identical while skipping
+        ~30us of ufunc dispatch on a ~16-element vote list.  Pinned
+        against ``np.quantile`` in ``tests/test_forest_fused.py``.
+        """
+        if quantile is None:
+            return float(sum(votes) / len(votes))
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(
+                f"quantile must be in [0, 1], got {quantile}"
+            )
+        ordered = sorted(votes)
+        virtual = quantile * (len(votes) - 1)
+        lo = math.floor(virtual)
+        gamma = virtual - lo
+        a = ordered[lo]
+        b = ordered[min(lo + 1, len(votes) - 1)]
+        diff = b - a
+        if gamma >= 0.5:
+            return float(b - diff * (1.0 - gamma))
+        return float(a + diff * gamma)
 
     def predict_one(
         self,
@@ -84,25 +127,50 @@ class RandomForestRegressor:
         """
         if not self._trees:
             raise RuntimeError("forest is not fitted")
+        votes = self.fused.leaf_votes_one(features)
+        return self._aggregate(votes, quantile)
+
+    def predict_one_pertree(
+        self,
+        features: np.ndarray | tuple[float, ...],
+        quantile: float | None = None,
+    ) -> float:
+        """Reference per-tree evaluation path.
+
+        Kept as the ground truth the fused evaluator is tested — and
+        benchmarked — against; see ``tests/test_forest_fused.py``.
+        """
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
         votes = [tree.predict_one(features) for tree in self._trees]
-        if quantile is None:
-            return float(sum(votes) / len(votes))
-        return float(np.quantile(votes, quantile))
+        return self._aggregate(votes, quantile)
+
+    def predict_batch(
+        self, x: np.ndarray, quantile: float | None = None
+    ) -> np.ndarray:
+        """Predict many samples with one level-synchronous traversal.
+
+        Rows are walked through all trees simultaneously (see
+        :meth:`FusedForest.leaf_votes`); the per-row aggregation is the
+        same helper the scalar path uses, so results are bit-identical
+        to ``[predict_one(row) for row in x]``.
+        """
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        votes = self.fused.leaf_votes(x)
+        return np.array(
+            [self._aggregate(row.tolist(), quantile) for row in votes]
+        )
 
     def predict(
         self, x: np.ndarray, quantile: float | None = None
     ) -> np.ndarray:
         """Predict a batch of samples."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim == 1:
-            x = x[None, :]
-        return np.array(
-            [self.predict_one(row, quantile=quantile) for row in x]
-        )
+        return self.predict_batch(x, quantile=quantile)
 
     def mean_relative_error(self, x: np.ndarray, y: np.ndarray) -> float:
         """Mean |pred - y| / y on a held-out set (paper cites <10%)."""
         y = np.asarray(y, dtype=np.float64)
-        preds = self.predict(x)
+        preds = self.predict_batch(x)
         mask = y > 0
         return float(np.mean(np.abs(preds[mask] - y[mask]) / y[mask]))

@@ -71,6 +71,10 @@ class BatchShape:
 class ExecutionModel:
     """Computes iteration latency for a (model, hardware, TP) deployment."""
 
+    #: Entry cap on the prefill_time memo (distinct prompt lengths x
+    #: chunk sizes per deployment; cleared wholesale on overflow).
+    _PREFILL_CACHE_LIMIT = 100_000
+
     def __init__(
         self,
         model: ModelSpec,
@@ -109,6 +113,11 @@ class ExecutionModel:
         self._mfu_linear = hardware.mfu_linear
         self._mfu_attention = hardware.mfu_attention
         self._overhead = hardware.overhead(tp_degree)
+
+        # SJF/SRPF service estimates and the capacity planner call
+        # prefill_time() with heavily repeating (prompt, chunk) pairs;
+        # the fixed-chunk sum is deterministic, so memoize it.
+        self._prefill_time_cache: dict[tuple[int, int], float] = {}
 
         reserve = kv_memory_reserve_fraction * hardware.mem_capacity
         kv_room = hardware.mem_capacity - self._weight_bytes - reserve
@@ -208,6 +217,10 @@ class ExecutionModel:
         """
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        key = (prompt_tokens, chunk_size)
+        cached = self._prefill_time_cache.get(key)
+        if cached is not None:
+            return cached
         total = 0.0
         done = 0
         while done < prompt_tokens:
@@ -216,6 +229,9 @@ class ExecutionModel:
                 BatchShape(prefill_chunks=[PrefillChunk(tokens, done)])
             )
             done += tokens
+        if len(self._prefill_time_cache) >= self._PREFILL_CACHE_LIMIT:
+            self._prefill_time_cache.clear()
+        self._prefill_time_cache[key] = total
         return total
 
     def seconds_per_prefill_token(self, chunk_size: int = 512) -> float:

@@ -83,6 +83,7 @@ class MedhaScheduler(FixedChunkScheduler):
                 prefill_context_before=head_context,
                 extra_latency_budget=self.tbt_target,
                 ignore_decode_slack=True,
+                decode_context_total=view.decode_context_total,
             )
             # Medha ignores slack: cap the budget by the fixed target
             # even when the decode queue could tolerate more.

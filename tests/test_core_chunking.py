@@ -127,3 +127,78 @@ class TestValidation:
             DynamicChunker(oracle_predictor, min_chunk=0)
         with pytest.raises(ValueError):
             DynamicChunker(oracle_predictor, min_chunk=100, max_chunk=50)
+
+
+class _CountingPredictor:
+    """Wraps a predictor, counting distinct predict() invocations."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def predict(self, shape):
+        self.calls += 1
+        return self.inner.predict(shape)
+
+
+class TestSearchEfficiency:
+    def test_one_eval_per_distinct_chunk(self, oracle_predictor):
+        """The search never re-predicts a chunk size it has already
+        evaluated (the old code evaluated predict(top) twice and the
+        inf branch re-predicted)."""
+        counting = _CountingPredictor(oracle_predictor)
+        chunker = DynamicChunker(counting)
+        r = decode_request(decoded=1)
+        chunker.prefill_budget(6.0, [r])
+        # Binary search over [min, max] with tolerance t probes at most
+        # ceil(log2(range/t)) midpoints, plus the two bracket ends; the
+        # final-answer re-check must come from the evaluation memo.
+        probes = (
+            (chunker.max_chunk - chunker.min_chunk)
+            // chunker.search_tolerance
+        ).bit_length()
+        assert counting.calls <= 2 + probes
+
+    def test_unconstrained_costs_one_prediction(self, oracle_predictor):
+        counting = _CountingPredictor(oracle_predictor)
+        chunker = DynamicChunker(counting)
+        decision = chunker.prefill_budget(0.0, [])
+        assert decision.prefill_budget == chunker.max_chunk
+        assert counting.calls == 1  # inf branch must not re-predict
+
+    def test_warm_start_skips_search(self, oracle_predictor):
+        """A repeated budget resolves from the verified bracket with
+        ~3 predictions instead of a full binary search."""
+        counting = _CountingPredictor(oracle_predictor)
+        chunker = DynamicChunker(counting)
+        r = decode_request(decoded=1)
+        cold = chunker.prefill_budget(6.0, [r])
+        cold_calls = counting.calls
+        counting.calls = 0
+        warm = chunker.prefill_budget(6.0, [r])
+        assert warm.prefill_budget == cold.prefill_budget
+        assert counting.calls < cold_calls
+        assert counting.calls <= 4  # top, floor(cached? no), lo, hi
+
+    def test_warm_start_decisions_match_cold(self, oracle_predictor):
+        """Across a drifting budget, a warm chunker and a fresh cold
+        chunker must agree on every decision."""
+        warm_chunker = DynamicChunker(oracle_predictor)
+        r = decode_request(decoded=1)
+        for step in range(20):
+            now = 5.95 + 0.005 * step
+            warm = warm_chunker.prefill_budget(now, [r])
+            cold = DynamicChunker(oracle_predictor).prefill_budget(
+                now, [r]
+            )
+            assert warm == cold, step
+
+    def test_precomputed_decode_context_matches(self, oracle_predictor):
+        chunker_a = DynamicChunker(oracle_predictor)
+        chunker_b = DynamicChunker(oracle_predictor)
+        decodes = [decode_request(rid=i, decoded=2) for i in range(8)]
+        total = sum(r.context_length for r in decodes)
+        a = chunker_a.prefill_budget(6.0, decodes)
+        b = chunker_b.prefill_budget(6.0, decodes,
+                                     decode_context_total=total)
+        assert a == b

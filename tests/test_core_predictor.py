@@ -79,6 +79,83 @@ class TestForestPredictor:
             )
 
 
+class TestMemoEdgeCases:
+    def test_bucket_round_up(self, execution_model):
+        """Memo keys round every feature *up* to its bucket edge, so
+        shapes within one bucket share the heavier key's prediction."""
+        predictor = ForestBatchPredictor.train(
+            execution_model, n_trees=4, max_depth=6
+        )
+        buckets = predictor.MEMO_BUCKETS
+        a = BatchShape([PrefillChunk(65, 100)], 3, 3 * 800)
+        b = BatchShape([PrefillChunk(96, 100)], 3, 3 * 800)  # same bucket
+        predictor.predict(a)
+        predictor.predict(b)
+        (key,) = predictor._memo.keys()
+        # Every key component sits on a bucket edge at or above the
+        # raw feature value.
+        from repro.perfmodel.profiler import batch_features
+
+        for value, rounded, bucket in zip(
+            batch_features(b), key, buckets
+        ):
+            assert rounded % bucket == 0
+            assert rounded >= value
+            assert rounded - value < bucket
+        assert predictor.predict(a) == predictor.predict(b)
+
+    def test_exact_bucket_edge_not_inflated(self, execution_model):
+        """A feature already on a bucket edge maps to itself."""
+        predictor = ForestBatchPredictor.train(
+            execution_model, n_trees=4, max_depth=6
+        )
+        chunk_bucket = predictor.MEMO_BUCKETS[0]
+        shape = BatchShape([PrefillChunk(chunk_bucket * 4, 0)], 0, 0)
+        predictor.predict(shape)
+        (key,) = predictor._memo.keys()
+        assert key[0] == chunk_bucket * 4
+
+    def test_memo_limit_clear_and_repopulate(self, execution_model,
+                                             monkeypatch):
+        """Hitting MEMO_LIMIT clears the dict and repopulates; results
+        stay identical to the unmemoized path throughout."""
+        predictor = ForestBatchPredictor.train(
+            execution_model, n_trees=4, max_depth=6
+        )
+        monkeypatch.setattr(ForestBatchPredictor, "MEMO_LIMIT", 4)
+        shapes = [
+            BatchShape([PrefillChunk(33 + 32 * i, 0)], i, i * 20_000)
+            for i in range(6)
+        ]
+        first_pass = [predictor.predict(s) for s in shapes]
+        # 6 distinct keys through a limit of 4: the memo was cleared
+        # at least once and holds only the post-clear tail.
+        assert len(predictor._memo) <= 4
+        second_pass = [predictor.predict(s) for s in shapes]
+        assert second_pass == first_pass
+        unmemo = ForestBatchPredictor(
+            predictor.forest,
+            quantile=predictor.quantile,
+            safety_factor=predictor.safety_factor,
+            memoize=False,
+        )
+        # The memoized value equals the direct prediction at the
+        # bucketed key (the conservative surrogate), recomputed fresh.
+        for shape, value in zip(shapes, first_pass):
+            from repro.perfmodel.profiler import batch_features
+
+            key = tuple(
+                bucket * -(-feature // bucket)
+                for feature, bucket in zip(
+                    batch_features(shape), predictor.MEMO_BUCKETS
+                )
+            )
+            direct = unmemo.safety_factor * unmemo.forest.predict_one(
+                key, quantile=unmemo.quantile
+            )
+            assert value == direct
+
+
 class TestCache:
     def test_cached_predictor_reused(self, execution_model):
         a = cached_forest_predictor(execution_model)

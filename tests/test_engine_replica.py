@@ -245,3 +245,93 @@ class TestKVEviction:
         assert engine._pick_eviction_victim(
             exclude=requests[3]
         ) is requests[2]
+
+
+class TestIncrementalDecodeAccounting:
+    """The engine's _decode_context_total mirrors the decode queue.
+
+    The counter replaces a per-iteration sum over the queue; every
+    mutation path (prefill completion, decode token, completion,
+    eviction, cancellation, crash, handoff) must keep it exact.
+    """
+
+    @staticmethod
+    def _instrument(engine):
+        observed = []
+        original = engine._start_iteration
+
+        def checked():
+            observed.append(
+                engine._decode_context_total
+                == sum(r.context_length for r in engine.decode_queue)
+            )
+            return original()
+
+        engine._start_iteration = checked
+        return observed
+
+    def test_invariant_through_normal_run(self, execution_model):
+        sim = Simulator()
+        engine = ReplicaEngine(
+            sim, execution_model, FCFSScheduler(chunk_size=256),
+            ReplicaConfig(),
+        )
+        observed = self._instrument(engine)
+        for i in range(8):
+            engine.submit(
+                make_request(request_id=i, arrival_time=0.1 * i,
+                             prompt_tokens=300 + 40 * i,
+                             decode_tokens=20 + i, qos=Q1)
+            )
+        sim.run(max_events=1_000_000)
+        assert observed and all(observed)
+        assert engine._decode_context_total == 0  # queue drained
+
+    def test_invariant_through_eviction(self):
+        from repro.engine.kvcache import KVCacheManager
+        from repro.perfmodel import A100_80GB, LLAMA3_8B, ExecutionModel
+
+        execution_model = ExecutionModel(LLAMA3_8B, A100_80GB)
+        sim = Simulator()
+        engine = ReplicaEngine(
+            sim, execution_model,
+            FCFSScheduler(chunk_size=256, kv_start_watermark=1.0),
+            ReplicaConfig(max_decode_slots=64),
+        )
+        engine.kv_cache = KVCacheManager(capacity_tokens=2048,
+                                         block_size=16)
+        observed = self._instrument(engine)
+        requests = [
+            make_request(request_id=i, prompt_tokens=400,
+                         decode_tokens=300, qos=Q2)
+            for i in range(6)
+        ]
+        for r in requests:
+            engine.submit(r)
+        sim.run(max_events=2_000_000)
+        assert sum(r.evictions for r in requests) > 0  # path exercised
+        assert observed and all(observed)
+        assert engine._decode_context_total == 0
+
+    def test_invariant_after_cancel_and_crash(self, execution_model):
+        sim = Simulator()
+        engine = ReplicaEngine(
+            sim, execution_model, FCFSScheduler(chunk_size=256),
+            ReplicaConfig(),
+        )
+        requests = [
+            make_request(request_id=i, prompt_tokens=200,
+                         decode_tokens=500, qos=Q2)
+            for i in range(4)
+        ]
+        for r in requests:
+            engine.submit(r)
+        sim.run(max_events=3_000)  # stop mid-flight
+        in_decode = [r for r in engine.decode_queue]
+        if in_decode:
+            engine.cancel_request(in_decode[0], reason="test")
+            assert engine._decode_context_total == sum(
+                r.context_length for r in engine.decode_queue
+            )
+        engine.crash()
+        assert engine._decode_context_total == 0

@@ -1,0 +1,167 @@
+"""Tests for the parallel fan-out (pmap) and the disk run cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import RunCache, cached_cell
+from repro.experiments.configs import Scale
+from repro.experiments.parallel import (
+    ParallelConfig,
+    get_parallel_config,
+    pmap,
+    resolve_jobs,
+    set_parallel_config,
+)
+
+
+def _square(task):
+    """Module-level so it pickles across the process boundary."""
+    return task * task
+
+
+def _tagged(task):
+    import os
+
+    return (task, os.getpid())
+
+
+@pytest.fixture(autouse=True)
+def _reset_config():
+    """Each test starts from the hermetic default config."""
+    set_parallel_config(ParallelConfig())
+    yield
+    set_parallel_config(ParallelConfig())
+
+
+class TestPmap:
+    def test_serial_path(self):
+        assert pmap(_square, [3, 1, 4, 1, 5], jobs=1) == [9, 1, 16, 1, 25]
+
+    def test_parallel_preserves_order(self):
+        tasks = list(range(12))
+        assert pmap(_square, tasks, jobs=2) == [t * t for t in tasks]
+
+    def test_parallel_equals_serial(self):
+        tasks = [7, 2, 9, 4]
+        assert pmap(_square, tasks, jobs=3) == pmap(_square, tasks, jobs=1)
+
+    def test_single_task_stays_serial(self):
+        import os
+
+        [(task, pid)] = pmap(_tagged, [5], jobs=4)
+        assert task == 5
+        assert pid == os.getpid()  # no pool spun up for one task
+
+    def test_empty(self):
+        assert pmap(_square, [], jobs=4) == []
+
+    def test_jobs_none_reads_config(self):
+        set_parallel_config(ParallelConfig(jobs=2))
+        assert resolve_jobs(None) == 2
+        assert resolve_jobs(5) == 5  # explicit argument wins
+        assert resolve_jobs(0) == 1  # floored at serial
+
+    def test_config_roundtrip(self, tmp_path):
+        config = ParallelConfig(jobs=3, cache_dir=tmp_path)
+        set_parallel_config(config)
+        assert get_parallel_config() is config
+
+
+class TestRunCache:
+    def test_roundtrip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache.key(figure="f", qps=2.0, seed=42)
+        assert cache.get(key) is None
+        cache.put(key, {"rows": [1.5, 2.5]})
+        assert cache.get(key) == {"rows": [1.5, 2.5]}
+
+    def test_float_exactness(self, tmp_path):
+        """JSON round-trips float64 exactly (repr-based)."""
+        cache = RunCache(tmp_path)
+        value = 0.1 + 0.2  # not representable prettily
+        cache.put("k" * 64, {"v": value})
+        assert cache.get("k" * 64)["v"] == value
+
+    def test_key_sensitivity(self):
+        base = RunCache.key(figure="f", qps=2.0, seed=42)
+        assert RunCache.key(figure="f", qps=2.5, seed=42) != base
+        assert RunCache.key(figure="g", qps=2.0, seed=42) != base
+        # Order-insensitive: same parts, any order, same key.
+        assert RunCache.key(seed=42, qps=2.0, figure="f") == base
+
+    def test_hit_skips_compute(self, tmp_path):
+        cache = RunCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 7}
+
+        first = cache.cached(compute, cell="a")
+        second = cache.cached(compute, cell="a")
+        assert first == second == {"value": 7}
+        assert len(calls) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache.key(cell="x")
+        cache.put(key, {"v": 1})
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.cached(lambda: {"v": 2}, cell="x") == {"v": 2}
+
+    def test_cached_cell_disabled_by_default(self, tmp_path):
+        """No --cache-dir: every call recomputes (hermetic default)."""
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 3
+
+        assert cached_cell(compute, cell="y") == 3
+        assert cached_cell(compute, cell="y") == 3
+        assert len(calls) == 2
+
+    def test_cached_cell_uses_config_dir(self, tmp_path):
+        set_parallel_config(ParallelConfig(cache_dir=tmp_path))
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 9}
+
+        assert cached_cell(compute, cell="z") == {"v": 9}
+        assert cached_cell(compute, cell="z") == {"v": 9}
+        assert len(calls) == 1
+        assert list(tmp_path.rglob("*.json"))  # entry actually on disk
+
+
+TINY = Scale(num_requests=30, min_duration_s=0.0, seed=42, label="tiny")
+
+
+class TestSweepDeterminism:
+    """ISSUE acceptance: serial and parallel sweeps are byte-identical."""
+
+    def test_fig10_11_serial_vs_parallel(self, forest_predictor):
+        from repro.experiments import fig10_11_load_sweep as sweep
+
+        kwargs = dict(schemes=("fcfs", "qoserve"), loads=(2.0, 3.0))
+        serial = sweep.run(TINY, jobs=1, **kwargs)
+        parallel = sweep.run(TINY, jobs=4, **kwargs)
+        encode = lambda r: json.dumps(r.rows, sort_keys=True)  # noqa: E731
+        assert encode(parallel) == encode(serial)
+        assert parallel.render() == serial.render()
+
+    def test_fig10_11_cache_hit_identical(self, forest_predictor, tmp_path):
+        from repro.experiments import fig10_11_load_sweep as sweep
+
+        kwargs = dict(schemes=("qoserve",), loads=(2.0,))
+        cold = sweep.run(TINY, jobs=1, **kwargs)
+        set_parallel_config(ParallelConfig(cache_dir=tmp_path))
+        miss = sweep.run(TINY, jobs=1, **kwargs)
+        hit = sweep.run(TINY, jobs=1, **kwargs)
+        encode = lambda r: json.dumps(r.rows, sort_keys=True)  # noqa: E731
+        assert encode(miss) == encode(cold)
+        assert encode(hit) == encode(cold)

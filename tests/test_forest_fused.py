@@ -1,0 +1,139 @@
+"""Equivalence tests for the fused forest evaluator.
+
+The fast paths (fused scalar walk, level-synchronous batch walk, and
+the hand-rolled quantile aggregation) must be *bit-identical* to the
+reference per-tree evaluation — not merely close: the dynamic chunker's
+binary search compares predictions against latency budgets, so a 1-ulp
+drift could flip a chunk-size decision and change experiment outputs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.forest import FusedForest, RandomForestRegressor
+from repro.forest.tree import _NO_CHILD
+
+
+def make_data(n=400, n_features=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 8, size=(n, n_features))
+    y = (
+        x[:, 0] ** 2
+        + 3.0 * x[:, 1]
+        - 2.0 * x[:, 2] * x[:, 3]
+        + rng.normal(0, 0.1, n)
+    )
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    x, y = make_data()
+    forest = RandomForestRegressor(n_trees=16, max_depth=10, seed=3)
+    return forest.fit(x, y), x
+
+
+QUANTILES = (None, 0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+class TestBitIdentical:
+    def test_leaf_votes_match_per_tree(self, fitted):
+        """The fused walk visits the same leaves as every tree."""
+        forest, x = fitted
+        for row in x[:50]:
+            reference = [t.predict_one(row) for t in forest._trees]
+            assert forest.fused.leaf_votes_one(row) == reference
+
+    @pytest.mark.parametrize("quantile", QUANTILES)
+    def test_scalar_fused_equals_per_tree(self, fitted, quantile):
+        forest, x = fitted
+        for row in x[:50]:
+            fused = forest.predict_one(row, quantile=quantile)
+            reference = forest.predict_one_pertree(row, quantile=quantile)
+            assert fused == reference  # exact, not approx
+
+    @pytest.mark.parametrize("quantile", QUANTILES)
+    def test_batch_equals_scalar(self, fitted, quantile):
+        forest, x = fitted
+        batch = forest.predict_batch(x[:80], quantile=quantile)
+        scalar = [
+            forest.predict_one(row, quantile=quantile) for row in x[:80]
+        ]
+        assert batch.tolist() == scalar  # exact, not approx
+
+    def test_aggregate_matches_np_quantile(self):
+        """The hand-rolled lerp reproduces np.quantile bit-for-bit."""
+        rng = np.random.default_rng(11)
+        for size in (1, 2, 3, 7, 16, 33):
+            votes = rng.normal(3.0, 2.0, size).tolist()
+            for quantile in np.linspace(0.0, 1.0, 53):
+                ours = RandomForestRegressor._aggregate(
+                    votes, float(quantile)
+                )
+                ref = float(np.quantile(votes, float(quantile)))
+                assert ours == ref, (size, float(quantile))
+
+    def test_aggregate_mean(self):
+        votes = [1.0, 2.0, 4.0, 9.0]
+        assert RandomForestRegressor._aggregate(votes, None) == 4.0
+
+
+class TestStructure:
+    def test_roots_and_rebased_children(self, fitted):
+        """Child pointers land inside their own tree's node range."""
+        forest, _ = fitted
+        fused = forest.fused
+        bounds = list(fused.roots.tolist()) + [len(fused.feature)]
+        for i in range(fused.n_trees):
+            lo, hi = bounds[i], bounds[i + 1]
+            for node in range(lo, hi):
+                if fused.feature[node] == _NO_CHILD:
+                    continue
+                assert lo <= fused.left[node] < hi
+                assert lo <= fused.right[node] < hi
+
+    def test_max_depth_bounds_traversal(self, fitted):
+        forest, _ = fitted
+        assert 0 < forest.fused.max_depth <= forest.max_depth
+
+    def test_single_node_trees(self):
+        """Depth-0 forests (pure-leaf trees) still evaluate."""
+        x = np.full((10, 2), 1.5)
+        y = np.full(10, 7.0)
+        forest = RandomForestRegressor(n_trees=3, seed=0).fit(x, y)
+        assert forest.fused.max_depth == 0
+        assert forest.predict_one([0.0, 0.0]) == 7.0
+        assert forest.predict_batch(x[:4]).tolist() == [7.0] * 4
+
+    def test_1d_input_to_batch(self, fitted):
+        forest, x = fitted
+        votes = forest.fused.leaf_votes(x[0])
+        assert votes.shape == (1, forest.n_trees)
+
+    def test_fused_rebuilt_after_refit(self):
+        x, y = make_data(100)
+        forest = RandomForestRegressor(n_trees=4, seed=1).fit(x, y)
+        first = forest.fused
+        forest.fit(x, -y)
+        assert forest.fused is not first
+        assert forest.predict_one(x[0]) == forest.predict_one_pertree(x[0])
+
+    def test_requires_fitted_trees(self):
+        with pytest.raises(ValueError):
+            FusedForest([])
+        forest = RandomForestRegressor()
+        with pytest.raises(RuntimeError):
+            forest.fused
+        with pytest.raises(RuntimeError):
+            forest.predict_batch(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            forest.predict_one_pertree([0.0])
+
+    def test_aggregate_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor._aggregate([1.0], 1.5)
+        with pytest.raises(ValueError):
+            RandomForestRegressor._aggregate([1.0], -0.1)
+        assert not math.isnan(RandomForestRegressor._aggregate([1.0], 1.0))
