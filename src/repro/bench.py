@@ -34,7 +34,9 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
-SCHEMA_VERSION = 1
+#: History: 2 — ``end_to_end`` grew a ``profile`` section (wall-clock
+#: totals per ``obs.timed`` hot path during the replica trace).
+SCHEMA_VERSION = 2
 
 #: Repo root (``src/repro/bench.py`` -> two levels up from ``repro``).
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -144,13 +146,20 @@ def _micro_benchmarks(quick: bool) -> dict[str, dict[str, float]]:
 
 
 def _end_to_end_benchmark(quick: bool) -> dict[str, Any]:
-    """One full replica trace under the QoServe scheduler."""
+    """One full replica trace under the QoServe scheduler.
+
+    The run executes with the :data:`repro.obs.PROFILER` enabled, so
+    the report breaks ``wall_s`` down into the ``obs.timed`` hot-path
+    sections (chunker, relegation planner, iteration loop) — the same
+    sections the fast-path engine work optimizes.
+    """
     from repro.experiments.configs import get_execution_model
     from repro.experiments.runner import (
         build_trace,
         make_scheduler,
         run_replica_trace,
     )
+    from repro.obs import PROFILER
     from repro.workload.datasets import AZURE_CODE
 
     execution_model = get_execution_model("llama3-8b")
@@ -160,15 +169,21 @@ def _end_to_end_benchmark(quick: bool) -> dict[str, Any]:
     )
     trace = base.scaled_arrivals(3.0)
 
-    started = time.perf_counter()
-    scheduler = make_scheduler("qoserve", execution_model)
-    summary, _ = run_replica_trace(execution_model, scheduler, trace)
-    elapsed = time.perf_counter() - started
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        started = time.perf_counter()
+        scheduler = make_scheduler("qoserve", execution_model)
+        summary, _ = run_replica_trace(execution_model, scheduler, trace)
+        elapsed = time.perf_counter() - started
+    finally:
+        PROFILER.disable()
     return {
         "workload": "AzCode qps=3.0 qoserve",
         "num_requests": num_requests,
         "wall_s": elapsed,
         "completed": summary.finished,
+        "profile": PROFILER.report(),
     }
 
 

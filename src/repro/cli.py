@@ -9,6 +9,7 @@ Usage::
     python -m repro run faults --fault-plan chaos.json
     python -m repro trace run.jsonl --chrome run_chrome.json
     python -m repro trace run.jsonl --validate
+    python -m repro dashboard run.jsonl --out dashboard.html
     python -m repro faults validate chaos.json --num-replicas 4
 
 ``--trace-out`` records every engine built during the run through the
@@ -227,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-request timeline table (default when no "
              "other action is requested)",
     )
+    dashboard_parser = sub.add_parser(
+        "dashboard",
+        help="SLO-forensics report from a recorded JSONL trace",
+    )
+    dashboard_parser.add_argument(
+        "trace", type=Path, help="JSONL trace recorded via --trace-out",
+    )
+    dashboard_parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write a single-file HTML report (inline SVG, no "
+             "external assets) to FILE",
+    )
+    dashboard_parser.add_argument(
+        "--window", type=float, default=60.0, metavar="SECONDS",
+        help="burn-rate window in simulated seconds (default: 60)",
+    )
+    dashboard_parser.add_argument(
+        "--slo-budget", type=float, default=0.01, metavar="FRACTION",
+        help="allowed violation fraction per window (default: 0.01, "
+             "the paper's 1%% goodput bar)",
+    )
+    dashboard_parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation of the trace (validation is on "
+             "by default; invalid events are a non-zero exit)",
+    )
     return parser
 
 
@@ -265,6 +292,9 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _trace_command(args)
+
+    if args.command == "dashboard":
+        return _dashboard_command(args)
 
     if args.command == "faults":
         return _faults_command(args)
@@ -463,6 +493,47 @@ def _trace_command(args) -> int:
               f"(open in Perfetto or chrome://tracing)")
     if args.timeline or (not args.validate and args.chrome is None):
         print(render_timeline(events))
+    return 0
+
+
+def _dashboard_command(args) -> int:
+    """Implement ``repro dashboard``: SLO forensics from a trace."""
+    from repro.obs import (
+        TraceSchemaError,
+        build_dashboard_data,
+        read_jsonl_trace,
+        render_html,
+        render_terminal,
+    )
+
+    if args.window <= 0:
+        print("--window must be > 0", file=sys.stderr)
+        return 2
+    if not 0.0 < args.slo_budget <= 1.0:
+        print("--slo-budget must be in (0, 1]", file=sys.stderr)
+        return 2
+    try:
+        events = read_jsonl_trace(
+            args.trace, validate=not args.no_validate
+        )
+    except OSError as error:
+        return _path_error("read trace", error)
+    except (TraceSchemaError, ValueError) as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    data = build_dashboard_data(
+        events, burn_window=args.window, slo_budget=args.slo_budget
+    )
+    print(render_terminal(data), end="")
+    if args.out is not None:
+        html_report = render_html(
+            data, title=f"repro dashboard — {args.trace.name}"
+        )
+        try:
+            args.out.write_text(html_report)
+        except OSError as error:
+            return _path_error("write --out", error)
+        print(f"html report written to {args.out}")
     return 0
 
 

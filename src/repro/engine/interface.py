@@ -105,3 +105,11 @@ class Scheduler(ABC):
     def pending_requests(self) -> list[Request]:
         """Requests currently waiting in the prefill queue (any order)."""
         return []
+
+    def queue_length(self) -> int:
+        """Number of requests waiting in the prefill queue.
+
+        Subclasses with internal membership tracking override this with
+        an O(1) count; the default pays for the list copy.
+        """
+        return len(self.pending_requests())

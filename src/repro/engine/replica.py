@@ -116,6 +116,9 @@ class ReplicaEngine:
         self.decode_evictions = 0
         self.stall_preemptions = 0
         self.chunk_tokens_hist: Counter[int] = Counter()
+        #: Relegated requests already reported served (each request
+        #: gets exactly one relegation_served event per demotion).
+        self._relegation_served_ids: set[int] = set()
         #: False while the replica is crashed (see :meth:`crash`); a
         #: down replica accepts no work and runs no iterations.
         self.healthy = True
@@ -278,6 +281,17 @@ class ReplicaEngine:
             self._inflight_prefills.add(request.request_id)
             if request.scheduled_first_time is None:
                 request.scheduled_first_time = now
+            if (
+                request.relegated
+                and request.request_id not in self._relegation_served_ids
+            ):
+                # First opportunistic chunk after demotion: the end of
+                # the relegation stall, which latency attribution needs
+                # as an explicit anchor.
+                self._relegation_served_ids.add(request.request_id)
+                self.observer.on_relegation_served(
+                    self.replica_id, request, now, assignment.tokens
+                )
 
         # Token counts of snapshot members cannot change while the
         # batch is in flight (they only move in _finish_iteration), so
@@ -297,7 +311,8 @@ class ReplicaEngine:
             # zeros would drown the histogram's smallest bucket.
             self.chunk_tokens_hist[plan.prefill_tokens] += 1
         self.observer.on_iteration_start(
-            self.replica_id, now, exec_time, plan, self.iterations_run
+            self.replica_id, now, exec_time, plan, self.iterations_run,
+            queue_depth=self.scheduler.queue_length(),
         )
         self._inflight_event = self.simulator.schedule_after(
             exec_time,

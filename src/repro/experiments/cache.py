@@ -26,7 +26,9 @@ from typing import Any, Callable
 
 #: Bump when simulator semantics change so stale entries never
 #: masquerade as fresh results.  Included in every cache key.
-SCHEMA_VERSION = 1
+#: History: 2 — fig10_11 cell payloads grew embedded ``_sketches``
+#: (per-tier governing-latency quantile sketches).
+SCHEMA_VERSION = 2
 
 
 class RunCache:

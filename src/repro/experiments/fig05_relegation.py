@@ -45,14 +45,24 @@ def run(
         title="Eager relegation keeps median latency stable under overload",
         notes=[f"scale={scale.label}, dataset=AzCode, deployment={deployment}"],
     )
+    attribution: dict[str, dict[str, int]] = {}
     for name, config in configs.items():
+        causes: dict[str, int] = {}
         for qps in loads:
             trace = base.scaled_arrivals(qps)
             scheduler = make_scheduler(
                 "qoserve", execution_model, qoserve_config=config
             )
-            summary, _ = run_replica_trace(execution_model, scheduler, trace)
+            summary, _ = run_replica_trace(
+                execution_model, scheduler, trace, audit=True
+            )
             stats = summary.scheduler_stats
+            report = summary.attribution
+            # Relegation's causal fingerprint: what fraction of the
+            # run's latency was deliberate parking vs congestion.
+            share = report.phase_share()
+            for cause, n in report.dominant_causes().items():
+                causes[cause] = causes.get(cause, 0) + n
             result.rows.append(
                 {
                     "config": name,
@@ -62,7 +72,17 @@ def run(
                     "relegated_pct": summary.violations.relegated_pct,
                     "relegated_n": stats["relegations_total"],
                     "preemptions": stats["preemptions"],
+                    "releg_stall_share": share["relegation_stall"],
+                    "queue_share": share["admission_queue"],
                 }
+            )
+        attribution[name] = dict(sorted(causes.items()))
+    result.extras["violation_attribution"] = attribution
+    for name, causes in attribution.items():
+        if causes:
+            result.notes.append(
+                f"{name} dominant violation causes: "
+                + ", ".join(f"{c}={n}" for c, n in causes.items())
             )
     return result
 

@@ -28,7 +28,8 @@ def run(
     )
     scheduler = make_scheduler("qoserve", execution_model)
     summary, engine = run_replica_trace(
-        execution_model, scheduler, trace, record_iterations=True
+        execution_model, scheduler, trace, record_iterations=True,
+        audit=True,
     )
     records = engine.iteration_records
     # Pick the window showing the most chunk-size dynamics — Figure 9's
@@ -70,6 +71,17 @@ def run(
                 "num_decodes": record.num_decodes,
             }
         )
+    # Dynamic chunking's cost side: how much of total latency the
+    # chunked prefills spent waiting between their slices.
+    share = summary.attribution.phase_share()
+    result.extras["attribution"] = summary.attribution
+    result.notes.append(
+        f"latency attribution across the run: "
+        f"chunk_stall={share['chunk_stall']:.1%}, "
+        f"prefill_compute={share['prefill_compute']:.1%}, "
+        f"queue={share['admission_queue']:.1%}, "
+        f"decode={share['decode']:.1%}"
+    )
     return result
 
 

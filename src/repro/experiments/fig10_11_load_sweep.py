@@ -15,7 +15,8 @@ from repro.experiments.configs import BENCH, Scale, get_execution_model
 from repro.experiments.parallel import pmap
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import build_trace, make_scheduler, run_replica_trace
-from repro.metrics.latency import latency_percentiles
+from repro.metrics.latency import governing_latency, latency_percentiles
+from repro.obs.sketch import QuantileSketch, merge_sketches
 from repro.workload.datasets import AZURE_CODE
 
 SCHEMES = ("fcfs", "srpf", "edf", "qoserve")
@@ -63,6 +64,20 @@ def _sweep_cell(task: tuple[str, str, float, int, int]) -> dict:
                 "tbt_miss_pct": violations.tbt_miss_pct,
             }
         )
+        # Serialized per-tier governing-latency sketches ride along in
+        # the cell payload (and through the disk cache): the parent
+        # merges them instead of ever seeing raw samples, which is how
+        # --jobs N workers stream percentiles back.
+        sketches: dict[str, QuantileSketch] = {}
+        for request in trace:
+            value = governing_latency(request, None)
+            if value == value and value != float("inf"):
+                sketches.setdefault(
+                    request.qos.name, QuantileSketch()
+                ).add(value)
+        row["_sketches"] = {
+            tier: sketches[tier].to_dict() for tier in sorted(sketches)
+        }
         return row
 
     return cached_cell(
@@ -101,9 +116,33 @@ def run(
         for scheme in schemes
         for qps in loads
     ]
-    result.rows.extend(
-        pmap(_sweep_cell, tasks, jobs=jobs, warm_deployments=(deployment,))
+    rows = pmap(
+        _sweep_cell, tasks, jobs=jobs, warm_deployments=(deployment,)
     )
+    # Merge the per-cell sketches scheme by scheme, in task order, so
+    # the merged sketch is byte-identical at any job count (pmap
+    # returns results in task order and sketch merging is exact).
+    merged: dict[str, QuantileSketch] = {}
+    for task, row in zip(tasks, rows):
+        scheme = task[1]
+        for tier, payload in row.pop("_sketches", {}).items():
+            key = f"{scheme}/{tier}"
+            merged[key] = merge_sketches([merged.get(key), payload])
+    result.rows.extend(rows)
+    result.extras["latency_sketches"] = merged
+    if merged:
+        q1 = {
+            key.split("/")[0]: sketch
+            for key, sketch in merged.items()
+            if key.endswith("/Q1")
+        }
+        result.notes.append(
+            "Q1 governing-latency p99 across all loads (merged "
+            "sketches): " + ", ".join(
+                f"{scheme}={sketch.quantile(0.99):.3f}s"
+                for scheme, sketch in sorted(q1.items())
+            )
+        )
     return result
 
 

@@ -28,6 +28,7 @@ from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import build_trace, scheduler_factory
 from repro.faults.plan import FaultPlan, ReplicaCrash, get_default_fault_plan
 from repro.faults.policy import ResilienceConfig, RetryPolicy
+from repro.obs.audit import audit_requests
 from repro.simcore.rng import RngStreams
 from repro.workload.datasets import AZURE_CODE
 
@@ -85,6 +86,14 @@ def _row(name: str, cluster: ResilientClusterDeployment, qps: float) -> dict:
     summary = cluster.summarize()
     stats = cluster.fault_stats()
     violations = summary.violations
+    # Coarse latency attribution straight from the completed requests
+    # (cluster runs have no single-replica trace): which phase
+    # dominated the violated requests' latency.
+    report = audit_requests(cluster.all_requests())
+    causes = report.dominant_causes()
+    top_cause = max(
+        causes.items(), key=lambda kv: (kv[1], kv[0]), default=("-", 0)
+    )[0]
     return {
         "config": name,
         "goodput_rps": _goodput(cluster.all_requests(), qps),
@@ -95,6 +104,8 @@ def _row(name: str, cluster: ResilientClusterDeployment, qps: float) -> dict:
         "retries": stats["retries_scheduled"],
         "shed": stats["shed"],
         "cancelled": stats["cancelled"],
+        "top_cause": top_cause,
+        "_attribution": report,
     }
 
 
@@ -143,6 +154,7 @@ def run(
             "arrival span; shed/cancelled requests count as violated",
         ],
     )
+    attribution: dict[str, object] = {}
     for name, plan, resilience in (
         ("no-fault", FaultPlan(), CHAOS_RESILIENCE),
         ("crash+resilience", crash_plan, CHAOS_RESILIENCE),
@@ -151,7 +163,16 @@ def run(
         cluster = _run_cluster(
             trace, execution_model, num_replicas, plan, resilience
         )
-        result.rows.append(_row(name, cluster, cluster_qps))
+        row = _row(name, cluster, cluster_qps)
+        attribution[name] = row.pop("_attribution")
+        result.rows.append(row)
+    result.extras["attribution"] = attribution
+    causes = attribution["crash, no shedding"].dominant_causes()
+    if causes:
+        result.notes.append(
+            "crash-without-shedding dominant violation causes: "
+            + ", ".join(f"{c}={n}" for c, n in sorted(causes.items()))
+        )
     return result
 
 
@@ -206,6 +227,9 @@ def run_mtbf_sweep(
             "no-faults" if mtbf == float("inf") else f"mtbf={mtbf:.0f}s",
             cluster,
             cluster_qps,
+        )
+        result.extras.setdefault("attribution", {})[row["config"]] = (
+            row.pop("_attribution")
         )
         row["planned_faults"] = len(plan)
         result.rows.append(row)

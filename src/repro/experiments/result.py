@@ -15,12 +15,16 @@ class ExperimentResult:
         title: Human-readable description.
         rows: List of uniform dicts (column -> value).
         notes: Free-form caveats (scale, substitutions).
+        extras: Non-tabular attachments (e.g. merged latency sketches,
+            attribution reports) that downstream consumers read
+            programmatically; never rendered into the table.
     """
 
     experiment: str
     title: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
 
     def columns(self) -> list[str]:
         cols: list[str] = []

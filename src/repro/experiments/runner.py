@@ -119,6 +119,7 @@ def run_replica_trace(
     record_iterations: bool = False,
     max_events: int = 50_000_000,
     observer: Observer | None = None,
+    audit: bool = False,
 ) -> tuple[RunSummary, ReplicaEngine]:
     """Simulate one replica over a trace and summarize.
 
@@ -126,7 +127,29 @@ def run_replica_trace(
     is taken at the drain time so every deadline verdict is final.
     ``observer`` forwards to :class:`ReplicaEngine` (``None`` adopts
     the process-wide default, usually the no-op observer).
+
+    ``audit`` additionally records the run's trace events in memory and
+    attributes every completed request's latency to named phases
+    (:mod:`repro.obs.audit`); the resulting
+    :class:`~repro.obs.audit.AttributionReport` lands in
+    ``summary.attribution``.  The audit collector chains with — never
+    displaces — whatever observer is in effect, and the summary's
+    serialized form is unchanged (attribution is not exported).
     """
+    from repro.obs.observer import get_default_observer
+
+    audit_sink = None
+    if audit:
+        from repro.obs.observer import MultiObserver, TracingObserver
+        from repro.obs.trace import ListSink, TraceRecorder
+
+        audit_sink = ListSink()
+        collector = TracingObserver(TraceRecorder([audit_sink]))
+        effective = observer if observer is not None else (
+            get_default_observer()
+        )
+        observer = MultiObserver([collector, effective])
+
     simulator = Simulator()
     engine = ReplicaEngine(
         simulator,
@@ -145,6 +168,10 @@ def run_replica_trace(
         summary.drain_time = simulator.now - last_arrival
         summary.arrival_span = last_arrival - first_arrival
     summary.scheduler_stats = engine_scheduler_stats(engine)
+    if audit_sink is not None:
+        from repro.obs.audit import audit_events
+
+        summary.attribution = audit_events(audit_sink.events)
     return summary, engine
 
 

@@ -54,6 +54,13 @@ class RunSummary:
     #: :func:`repro.experiments.runner.run_replica_trace`; empty for
     #: summaries built straight from a request list.
     scheduler_stats: dict = field(default_factory=dict)
+    #: Per-request latency attribution
+    #: (:class:`repro.obs.audit.AttributionReport`), filled in by
+    #: :func:`repro.experiments.runner.run_replica_trace` when the run
+    #: is audited; ``None`` otherwise.  Deliberately excluded from
+    #: :func:`repro.metrics.export.summary_to_dict` so audited and
+    #: unaudited runs serialize identically (the determinism pin).
+    attribution: object | None = None
 
     def tier_percentile(self, tier: str, q: float) -> float:
         return self.latency_percentiles_by_tier.get(tier, {}).get(

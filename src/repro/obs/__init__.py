@@ -1,13 +1,19 @@
-"""Iteration-level observability: tracing, metrics and profiling.
+"""Iteration-level observability: tracing, metrics and forensics.
 
-The subsystem has four legs (see ``docs/OBSERVABILITY.md``):
+The subsystem's legs (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.metrics` — a zero-dependency metrics registry
-  (counters / gauges / histograms, labeled series) with Prometheus-text
-  and JSON exporters;
+  (counters / gauges / histograms / quantile sketches, labeled series)
+  with Prometheus-text and JSON exporters;
 * :mod:`repro.obs.events` / :mod:`repro.obs.trace` — typed trace
   events with schema validation, recorded through bounded-memory ring
   or streaming-JSONL sinks;
+* :mod:`repro.obs.sketch` — mergeable DDSketch-style quantile sketches
+  and windowed SLO burn-rate counters;
+* :mod:`repro.obs.audit` — per-request latency attribution (phase
+  decomposition + dominant-cause classification of SLO violations);
+* :mod:`repro.obs.dashboard` — the ``repro dashboard`` report
+  (terminal summary + single-file HTML with inline SVG);
 * :mod:`repro.obs.chrome` — a Chrome trace-event exporter
   (``chrome://tracing`` / Perfetto): replicas as processes, batch
   slots as tracks;
@@ -19,20 +25,34 @@ default (:data:`NULL_OBSERVER`) keeps instrumentation free when
 disabled and guarantees tracing never perturbs scheduling.
 """
 
+from repro.obs.audit import (
+    PHASES,
+    AttributionReport,
+    RequestAudit,
+    audit_events,
+    audit_requests,
+)
 from repro.obs.chrome import (
     per_request_timeline,
     render_timeline,
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.dashboard import (
+    build_dashboard_data,
+    render_html,
+    render_terminal,
+)
 from repro.obs.events import (
     EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
     ChunkSized,
     DecodeEvicted,
     IterationScheduled,
     KVCacheSnapshot,
     Preempted,
     Relegated,
+    RelegationServed,
     ReplicaCrashed,
     ReplicaRecovered,
     ReplicaSlowdown,
@@ -53,11 +73,17 @@ from repro.obs.metrics import (
 )
 from repro.obs.observer import (
     NULL_OBSERVER,
+    MultiObserver,
     Observer,
     TracingObserver,
     default_observer,
     get_default_observer,
     set_default_observer,
+)
+from repro.obs.sketch import (
+    BurnRateTracker,
+    QuantileSketch,
+    merge_sketches,
 )
 from repro.obs.timing import PROFILER, WallClockProfiler, timed
 from repro.obs.trace import (
@@ -70,6 +96,20 @@ from repro.obs.trace import (
 
 __all__ = [
     "EVENT_TYPES",
+    "TRACE_SCHEMA_VERSION",
+    "PHASES",
+    "AttributionReport",
+    "RequestAudit",
+    "audit_events",
+    "audit_requests",
+    "BurnRateTracker",
+    "QuantileSketch",
+    "merge_sketches",
+    "build_dashboard_data",
+    "render_html",
+    "render_terminal",
+    "MultiObserver",
+    "RelegationServed",
     "ChunkSized",
     "DecodeEvicted",
     "IterationScheduled",

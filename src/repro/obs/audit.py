@@ -1,0 +1,438 @@
+"""SLO forensics: per-request latency attribution from trace events.
+
+QoServe's claims are causal — dynamic chunking, hybrid prioritization
+and eager relegation each prevent a *specific kind* of violation — so
+aggregate violation rates are not enough: we need to say *why* a given
+request missed its deadline.  This module reconstructs each completed
+request's causal timeline from the recorded event stream
+(:mod:`repro.obs.events`) and tiles its end-to-end latency into named
+phases:
+
+``admission_queue``
+    Arrival until the first prefill chunk was scheduled (or until
+    relegation, whichever came first).
+``prefill_compute``
+    Time actually spent inside iterations that carried one of the
+    request's prefill chunks.
+``chunk_stall``
+    Gaps between prefill chunks with no other explanation: the dynamic
+    chunker granted a chunk smaller than the remaining prefill, so the
+    request waited for its next slice.
+``preempt_stall``
+    Gaps containing a stall-recovery preemption of this request (its
+    partial KV was sacrificed and recomputed).
+``relegation_stall``
+    Time parked behind regular work after eager relegation demoted the
+    request.
+``retry_stall``
+    Gaps containing a crash-retry re-enqueue of this request.
+``decode``
+    First output token until the last.
+
+The tiling is exact by construction — consecutive phase boundaries
+telescope from arrival to completion — which is what lets the
+conservation test demand agreement with measured TTLT to 1e-9 s.
+Every violated request then gets exactly one *dominant cause*: the
+largest phase among those that could have caused its governing SLO
+miss (pre-first-token phases for TTFT-governed interactive tiers, all
+phases for TTLT-governed tiers), ties broken by canonical phase order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.qos import DEFAULT_TIERS
+
+#: Canonical phase order: decomposition reports phases in this order
+#: and dominant-cause ties resolve to the earlier phase.
+PHASES: tuple[str, ...] = (
+    "admission_queue",
+    "prefill_compute",
+    "chunk_stall",
+    "preempt_stall",
+    "relegation_stall",
+    "retry_stall",
+    "decode",
+)
+
+#: Tolerance for the conservation invariant (seconds).
+CONSERVATION_TOL = 1e-9
+
+_TIER_INTERACTIVE: dict[str, bool] = {
+    spec.name: spec.is_interactive for spec in DEFAULT_TIERS
+}
+
+
+def _is_interactive(tier: str, qos_class: str) -> bool:
+    """TTFT-governed (interactive) vs TTLT-governed request.
+
+    Schema-v2 ``request_completed`` events carry ``qos_class``
+    explicitly; v1 traces fall back to the Table 3 tier-name
+    convention, and unknown names default to non-interactive (TTLT
+    governance considers every phase, so no cause is structurally
+    unreachable).
+    """
+    if qos_class:
+        return qos_class == "interactive"
+    return _TIER_INTERACTIVE.get(tier, False)
+
+
+@dataclass
+class RequestAudit:
+    """One completed request's reconstructed latency decomposition.
+
+    ``phases`` maps every name in :data:`PHASES` to seconds (zeros
+    included), and sums to ``completion_time - arrival_time`` within
+    :data:`CONSERVATION_TOL`.  ``dominant_cause`` is set iff the
+    request violated its governing SLO.
+    """
+
+    request_id: int
+    tier: str
+    arrival_time: float
+    first_scheduled_time: float
+    first_token_time: float
+    completion_time: float
+    violated: bool
+    relegated: bool
+    evictions: int
+    phases: dict[str, float]
+    #: "interactive" / "non-interactive" / "" (v1 trace, unknown).
+    qos_class: str = ""
+    dominant_cause: str | None = None
+
+    @property
+    def total(self) -> float:
+        return self.completion_time - self.arrival_time
+
+    @property
+    def conservation_error(self) -> float:
+        return abs(sum(self.phases.values()) - self.total)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "tier": self.tier,
+            "total": self.total,
+            "violated": self.violated,
+            "relegated": self.relegated,
+            "evictions": self.evictions,
+            "dominant_cause": self.dominant_cause,
+            "phases": {name: self.phases[name] for name in PHASES},
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Aggregated latency attribution for one run.
+
+    Attributes:
+        requests: Per-request decompositions, ordered by completion.
+        phase_totals: Tier -> phase -> summed seconds.
+        violations_by_cause: Tier -> dominant cause -> violated count.
+        completed: Tier -> completed request count.
+        violated: Tier -> violated request count.
+    """
+
+    requests: list[RequestAudit] = field(default_factory=list)
+    phase_totals: dict[str, dict[str, float]] = field(default_factory=dict)
+    violations_by_cause: dict[str, dict[str, int]] = field(
+        default_factory=dict
+    )
+    completed: dict[str, int] = field(default_factory=dict)
+    violated: dict[str, int] = field(default_factory=dict)
+
+    def max_conservation_error(self) -> float:
+        """Largest per-request tiling error (0.0 when empty)."""
+        return max(
+            (audit.conservation_error for audit in self.requests),
+            default=0.0,
+        )
+
+    def dominant_causes(self) -> dict[str, int]:
+        """Violated counts by cause, across all tiers."""
+        out: dict[str, int] = {}
+        for causes in self.violations_by_cause.values():
+            for cause, n in causes.items():
+                out[cause] = out.get(cause, 0) + n
+        return out
+
+    def phase_share(self, tier: str | None = None) -> dict[str, float]:
+        """Fraction of total latency spent in each phase.
+
+        Args:
+            tier: Restrict to one tier; ``None`` aggregates all tiers.
+        """
+        totals = {name: 0.0 for name in PHASES}
+        for t, phases in self.phase_totals.items():
+            if tier is not None and t != tier:
+                continue
+            for name, seconds in phases.items():
+                totals[name] += seconds
+        grand = sum(totals.values())
+        if grand <= 0.0:
+            return {name: 0.0 for name in PHASES}
+        return {name: totals[name] / grand for name in PHASES}
+
+    def to_dict(self) -> dict[str, Any]:
+        tiers = sorted(self.completed)
+        return {
+            "num_requests": len(self.requests),
+            "max_conservation_error": self.max_conservation_error(),
+            "completed": {t: self.completed[t] for t in tiers},
+            "violated": {t: self.violated.get(t, 0) for t in tiers},
+            "phase_totals": {
+                t: {
+                    name: self.phase_totals[t].get(name, 0.0)
+                    for name in PHASES
+                }
+                for t in tiers
+            },
+            "violations_by_cause": {
+                t: dict(sorted(self.violations_by_cause.get(t, {}).items()))
+                for t in tiers
+            },
+            "dominant_causes": dict(sorted(self.dominant_causes().items())),
+        }
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping ``(start, end)`` spans, sorted."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _classify_gap(
+    gap_start: float,
+    gap_end: float,
+    retry_times: list[float],
+    preempt_times: list[float],
+    relegated_time: float | None,
+    served_time: float | None,
+) -> str:
+    """Name the stall occupying ``[gap_start, gap_end]``.
+
+    Precedence mirrors mechanism severity: a crash retry explains the
+    whole wait better than anything else, then a preemption (the KV
+    was lost and recomputed), then relegation (deliberately parked),
+    and only an unexplained gap is charged to chunking.
+    """
+    if any(gap_start <= t <= gap_end for t in retry_times):
+        return "retry_stall"
+    if any(gap_start <= t <= gap_end for t in preempt_times):
+        return "preempt_stall"
+    if relegated_time is not None and relegated_time <= gap_end:
+        # Parked behind regular work from demotion until opportunistic
+        # service; after relegation_served, waits are ordinary chunk
+        # scheduling again.
+        if served_time is None or gap_start < served_time:
+            return "relegation_stall"
+    return "chunk_stall"
+
+
+def audit_events(events: Iterable[Mapping[str, Any]]) -> AttributionReport:
+    """Reconstruct per-request latency attribution from trace events.
+
+    Args:
+        events: Serialized trace events (dicts with a ``kind`` key), in
+            any order — e.g. the output of
+            :func:`repro.obs.trace.read_jsonl_trace` or a
+            :class:`~repro.obs.trace.ListSink`'s buffer.  Only
+            completed requests are audited; kinds the audit does not
+            need are ignored, so v1 traces work (they simply cannot
+            attribute relegation service precisely).
+    """
+    # Pass 1: index the per-request markers the decomposition needs.
+    service: dict[int, list[tuple[float, float]]] = {}
+    retries: dict[int, list[float]] = {}
+    preempts: dict[int, list[float]] = {}
+    relegated_at: dict[int, float] = {}
+    served_at: dict[int, float] = {}
+    completions: list[Mapping[str, Any]] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "iteration_scheduled":
+            ts = event["ts"]
+            end = ts + event["dur"]
+            for request_id in event.get("prefill_request_ids", ()):
+                service.setdefault(request_id, []).append((ts, end))
+        elif kind == "request_completed":
+            completions.append(event)
+        elif kind == "request_retried":
+            retries.setdefault(event["request_id"], []).append(event["ts"])
+        elif kind == "preempted":
+            preempts.setdefault(event["request_id"], []).append(event["ts"])
+        elif kind == "relegated":
+            relegated_at.setdefault(event["request_id"], event["ts"])
+        elif kind == "relegation_served":
+            served_at.setdefault(event["request_id"], event["ts"])
+
+    report = AttributionReport()
+    for completion in completions:
+        request_id = completion["request_id"]
+        audit = _decompose(
+            completion,
+            service.get(request_id, []),
+            retries.get(request_id, []),
+            preempts.get(request_id, []),
+            relegated_at.get(request_id),
+            served_at.get(request_id),
+        )
+        report.requests.append(audit)
+        tier = audit.tier
+        report.completed[tier] = report.completed.get(tier, 0) + 1
+        totals = report.phase_totals.setdefault(
+            tier, {name: 0.0 for name in PHASES}
+        )
+        for name, seconds in audit.phases.items():
+            totals[name] += seconds
+        if audit.violated:
+            report.violated[tier] = report.violated.get(tier, 0) + 1
+            causes = report.violations_by_cause.setdefault(tier, {})
+            assert audit.dominant_cause is not None
+            causes[audit.dominant_cause] = (
+                causes.get(audit.dominant_cause, 0) + 1
+            )
+    return report
+
+
+def _decompose(
+    completion: Mapping[str, Any],
+    service: list[tuple[float, float]],
+    retry_times: list[float],
+    preempt_times: list[float],
+    relegated_time: float | None,
+    served_time: float | None,
+) -> RequestAudit:
+    arrival = completion["arrival_time"]
+    completed = completion["completion_time"]
+    first_token = completion["first_token_time"]
+    if first_token is None:
+        first_token = completed
+    anchor0 = completion["scheduled_first_time"]
+    if anchor0 is None:
+        anchor0 = first_token
+    anchor0 = min(max(anchor0, arrival), first_token)
+    first_token = min(max(first_token, arrival), completed)
+
+    phases = {name: 0.0 for name in PHASES}
+
+    # [arrival, anchor0]: waiting for the first chunk.  If relegation
+    # struck while still queued, the wait after demotion was a policy
+    # decision, not congestion.
+    if relegated_time is not None and relegated_time < anchor0:
+        split = max(relegated_time, arrival)
+        phases["admission_queue"] = split - arrival
+        phases["relegation_stall"] += anchor0 - split
+    else:
+        phases["admission_queue"] = anchor0 - arrival
+
+    # [anchor0, first_token]: tiled by merged service spans (clipped)
+    # and the classified gaps between them.
+    cursor = anchor0
+    for start, end in _merge_intervals(service):
+        start = min(max(start, cursor), first_token)
+        end = min(max(end, cursor), first_token)
+        if start > cursor:
+            phases[_classify_gap(
+                cursor, start, retry_times, preempt_times,
+                relegated_time, served_time,
+            )] += start - cursor
+        phases["prefill_compute"] += end - start
+        cursor = max(cursor, end)
+    if first_token > cursor:
+        # Trailing wait with no recorded service (e.g. the decode ramp
+        # before the first token, or a v1 trace without service spans).
+        phases[_classify_gap(
+            cursor, first_token, retry_times, preempt_times,
+            relegated_time, served_time,
+        )] += first_token - cursor
+
+    # [first_token, completion]: decoding (includes any re-prefill
+    # after a decode eviction — the request was past first token).
+    phases["decode"] = completed - first_token
+
+    violated = bool(completion["violated"])
+    audit = RequestAudit(
+        request_id=completion["request_id"],
+        tier=completion["tier"],
+        arrival_time=arrival,
+        first_scheduled_time=anchor0,
+        first_token_time=first_token,
+        completion_time=completed,
+        violated=violated,
+        relegated=bool(completion["relegated"]),
+        evictions=int(completion["evictions"]),
+        phases=phases,
+        qos_class=str(completion.get("qos_class", "")),
+    )
+    if violated:
+        audit.dominant_cause = _dominant_cause(audit)
+    return audit
+
+
+def _dominant_cause(audit: RequestAudit) -> str:
+    """The largest phase that can explain the governing SLO miss.
+
+    Interactive (TTFT-governed) tiers cannot blame decode — the miss
+    happened at or before the first token — so decode is excluded;
+    TTLT-governed tiers consider every phase.  Ties resolve to the
+    earliest phase in :data:`PHASES`, making classification
+    deterministic.
+    """
+    candidates = (
+        tuple(name for name in PHASES if name != "decode")
+        if _is_interactive(audit.tier, audit.qos_class)
+        else PHASES
+    )
+    return max(candidates, key=lambda name: (audit.phases[name],
+                                             -candidates.index(name)))
+
+
+def audit_requests(requests: Iterable[Any]) -> AttributionReport:
+    """Coarse attribution directly from completed ``Request`` objects.
+
+    A fallback for callers without a trace (no per-chunk service
+    spans): phases collapse to admission wait, a single pre-first-token
+    span (charged to relegation when the request was relegated, else to
+    chunking), and decode.  Conservation still holds exactly.
+    """
+    events: list[dict[str, Any]] = []
+    for request in requests:
+        if request.completion_time is None:
+            continue
+        events.append({
+            "kind": "request_completed",
+            "ts": request.completion_time,
+            "replica_id": -1,
+            "request_id": request.request_id,
+            "tier": request.qos.name,
+            "arrival_time": request.arrival_time,
+            "scheduled_first_time": request.scheduled_first_time,
+            "first_token_time": request.first_token_time,
+            "completion_time": request.completion_time,
+            "relegated": request.relegated,
+            "violated": request.violated_deadline,
+            "evictions": request.evictions,
+            "qos_class": request.qos.qos_class.value,
+        })
+        if request.relegated and request.relegated_time is not None:
+            events.append({
+                "kind": "relegated",
+                "ts": request.relegated_time,
+                "request_id": request.request_id,
+                "tier": request.qos.name,
+                "important": request.important,
+                "remaining_prefill": 0,
+            })
+    return audit_events(events)

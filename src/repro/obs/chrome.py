@@ -37,6 +37,7 @@ _INSTANT_KINDS = {
     "preempted": "scheduler",
     "decode_evicted": "scheduler",
     "relegated": "scheduler",
+    "relegation_served": "scheduler",
     "replica_crashed": "fault",
     "replica_recovered": "fault",
     "replica_slowdown": "fault",

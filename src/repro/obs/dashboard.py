@@ -1,0 +1,345 @@
+"""`repro dashboard`: a self-contained SLO-forensics report.
+
+Turns a recorded JSONL trace (:class:`repro.obs.trace.JSONLSink`
+output) into two renderings of the same analysis:
+
+* a terminal summary (:func:`render_terminal`) — goodput per tier,
+  peak burn rate, the violation-attribution table;
+* a single-file HTML report (:func:`render_html`) with inline SVG
+  charts — no JavaScript, no external assets, so the file can be
+  attached to a CI run or an incident ticket and opened anywhere.
+
+All analysis is derived from the event stream alone (no access to live
+``Request`` objects), exercising exactly the reconstruction path that
+:mod:`repro.obs.audit` pins with conservation tests.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Iterable, Mapping
+
+from repro.obs.audit import PHASES, AttributionReport, audit_events
+from repro.obs.sketch import BurnRateTracker, QuantileSketch
+
+#: Colors for the attribution waterfall, keyed by phase (SVG fills).
+_PHASE_COLORS: dict[str, str] = {
+    "admission_queue": "#4e79a7",
+    "prefill_compute": "#59a14f",
+    "chunk_stall": "#f28e2b",
+    "preempt_stall": "#e15759",
+    "relegation_stall": "#b07aa1",
+    "retry_stall": "#9c755f",
+    "decode": "#76b7b2",
+}
+
+_QUANTILES = (0.50, 0.90, 0.99)
+
+
+def build_dashboard_data(
+    events: Iterable[Mapping[str, Any]],
+    burn_window: float = 60.0,
+    slo_budget: float = 0.01,
+) -> dict[str, Any]:
+    """Reduce a trace to everything the renderers need.
+
+    Returns a plain dict: ``tiers`` (per-tier goodput + TTFT/TTLT
+    percentile rows), ``burn`` (windowed burn-rate series),
+    ``attribution`` (:class:`~repro.obs.audit.AttributionReport`),
+    and run-level counts.
+    """
+    events = list(events)
+    burn = BurnRateTracker(window=burn_window, slo_budget=slo_budget)
+    ttft: dict[str, QuantileSketch] = {}
+    ttlt: dict[str, QuantileSketch] = {}
+    completed: dict[str, int] = {}
+    violated: dict[str, int] = {}
+    span_start = float("inf")
+    span_end = float("-inf")
+    kinds: dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            span_start = min(span_start, ts)
+            span_end = max(span_end, ts)
+        if kind != "request_completed":
+            continue
+        tier = event["tier"]
+        completed[tier] = completed.get(tier, 0) + 1
+        if event["violated"]:
+            violated[tier] = violated.get(tier, 0) + 1
+        burn.observe(event["completion_time"], bool(event["violated"]))
+        if event["first_token_time"] is not None:
+            ttft.setdefault(tier, QuantileSketch()).add(
+                event["first_token_time"] - event["arrival_time"]
+            )
+        ttlt.setdefault(tier, QuantileSketch()).add(
+            event["completion_time"] - event["arrival_time"]
+        )
+
+    tiers = []
+    for tier in sorted(completed):
+        done = completed[tier]
+        bad = violated.get(tier, 0)
+        tiers.append({
+            "tier": tier,
+            "completed": done,
+            "violated": bad,
+            "goodput_pct": 100.0 * (done - bad) / done if done else 0.0,
+            "ttft": {
+                q: ttft[tier].quantile(q) for q in _QUANTILES
+            } if tier in ttft else {},
+            "ttlt": {
+                q: ttlt[tier].quantile(q) for q in _QUANTILES
+            } if tier in ttlt else {},
+        })
+
+    total = sum(completed.values())
+    bad = sum(violated.values())
+    return {
+        "num_events": len(events),
+        "event_kinds": dict(sorted(kinds.items())),
+        "span": (
+            (span_start, span_end) if span_start <= span_end else (0.0, 0.0)
+        ),
+        "completed": total,
+        "violated": bad,
+        "goodput_pct": 100.0 * (total - bad) / total if total else 0.0,
+        "tiers": tiers,
+        "burn": burn,
+        "attribution": audit_events(events),
+    }
+
+
+# --- terminal rendering ------------------------------------------------
+
+
+def _fmt_s(value: float) -> str:
+    """Humanize a duration in seconds."""
+    if value != value:  # NaN
+        return "-"
+    if value < 1.0:
+        return f"{value * 1e3:.0f}ms"
+    if value < 120.0:
+        return f"{value:.2f}s"
+    return f"{value / 60.0:.1f}min"
+
+
+def render_terminal(data: Mapping[str, Any]) -> str:
+    """Plain-text dashboard summary (the CLI's stdout report)."""
+    burn: BurnRateTracker = data["burn"]
+    attribution: AttributionReport = data["attribution"]
+    span = data["span"]
+    lines = [
+        "== SLO forensics dashboard ==",
+        f"events: {data['num_events']}  "
+        f"span: {_fmt_s(span[1] - span[0])}  "
+        f"completed: {data['completed']}  "
+        f"violated: {data['violated']}  "
+        f"goodput: {data['goodput_pct']:.2f}%",
+        "",
+        "per-tier latency (p50 / p90 / p99):",
+        f"  {'tier':<6}{'done':>6}{'miss':>6}{'goodput':>9}"
+        f"{'TTFT':>22}{'TTLT':>24}",
+    ]
+    for row in data["tiers"]:
+        ttft = row["ttft"]
+        ttlt = row["ttlt"]
+        fmt3 = lambda table: (  # noqa: E731 - tiny local formatter
+            " / ".join(_fmt_s(table[q]) for q in _QUANTILES)
+            if table else "-"
+        )
+        lines.append(
+            f"  {row['tier']:<6}{row['completed']:>6}{row['violated']:>6}"
+            f"{row['goodput_pct']:>8.2f}%"
+            f"{fmt3(ttft):>22}{fmt3(ttlt):>24}"
+        )
+    lines += [
+        "",
+        f"burn rate (window {burn.window:.0f}s, "
+        f"budget {burn.slo_budget:.1%}): "
+        f"peak {burn.max_burn_rate():.2f}x",
+    ]
+    series = burn.series()
+    if series:
+        peak = max(r["burn_rate"] for r in series)
+        scale = peak if peak > 0 else 1.0
+        bars = "".join(
+            " ▁▂▃▄▅▆▇█"[min(8, int(8 * r["burn_rate"] / scale))]
+            for r in series
+        )
+        lines.append(f"  [{bars}]")
+    lines += ["", "violation attribution (dominant cause):"]
+    causes = attribution.dominant_causes()
+    if causes:
+        for cause, count in sorted(
+            causes.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {cause:<18}{count:>6}")
+    else:
+        lines.append("  no violations")
+    share = attribution.phase_share()
+    lines += ["", "where the time went (all completed requests):"]
+    for name in PHASES:
+        lines.append(f"  {name:<18}{share[name]:>7.1%}")
+    return "\n".join(lines) + "\n"
+
+
+# --- HTML rendering ----------------------------------------------------
+
+
+def _svg_burn_timeline(burn: BurnRateTracker, width: int = 640,
+                       height: int = 120) -> str:
+    """Burn-rate bars over simulated time; the budget line is 1.0x."""
+    series = burn.series()
+    if not series:
+        return "<p>no completions recorded</p>"
+    peak = max(1.0, max(r["burn_rate"] for r in series))
+    pad = 24
+    plot_w = width - 2 * pad
+    plot_h = height - 2 * pad
+    bar_w = plot_w / len(series)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img" '
+        f'aria-label="SLO burn rate over simulated time">'
+    ]
+    for i, row in enumerate(series):
+        h = plot_h * row["burn_rate"] / peak
+        x = pad + i * bar_w
+        y = pad + plot_h - h
+        color = "#e15759" if row["burn_rate"] > 1.0 else "#4e79a7"
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{max(1.0, bar_w - 1):.1f}" '
+            f'height="{h:.1f}" fill="{color}">'
+            f"<title>[{row['start']:.0f}s, {row['end']:.0f}s) "
+            f"burn {row['burn_rate']:.2f}x "
+            f"({row['violated']}/{row['total']})</title></rect>"
+        )
+    budget_y = pad + plot_h - plot_h / peak
+    parts.append(
+        f'<line x1="{pad}" y1="{budget_y:.1f}" x2="{width - pad}" '
+        f'y2="{budget_y:.1f}" stroke="#333" stroke-dasharray="4 3"/>'
+        f'<text x="{width - pad}" y="{budget_y - 4:.1f}" '
+        f'text-anchor="end" font-size="10">1.0x budget</text>'
+        "</svg>"
+    )
+    return "".join(parts)
+
+
+def _svg_waterfall(attribution: AttributionReport, width: int = 640,
+                   row_h: int = 26) -> str:
+    """Per-tier stacked bars of phase shares (the latency waterfall)."""
+    tiers = sorted(attribution.phase_totals)
+    if not tiers:
+        return "<p>no completed requests</p>"
+    pad = 56
+    plot_w = width - pad - 12
+    height = row_h * len(tiers) + 40
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img" '
+        f'aria-label="Latency attribution by tier">'
+    ]
+    for i, tier in enumerate(tiers):
+        share = attribution.phase_share(tier)
+        y = 8 + i * row_h
+        parts.append(
+            f'<text x="{pad - 8}" y="{y + row_h / 2:.1f}" '
+            f'text-anchor="end" font-size="12">{html.escape(tier)}</text>'
+        )
+        x = float(pad)
+        for name in PHASES:
+            w = plot_w * share[name]
+            if w <= 0.0:
+                continue
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{row_h - 6}" fill="{_PHASE_COLORS[name]}">'
+                f"<title>{name}: {share[name]:.1%}</title></rect>"
+            )
+            x += w
+    legend_y = 8 + len(tiers) * row_h + 12
+    x = float(pad)
+    for name in PHASES:
+        parts.append(
+            f'<rect x="{x:.1f}" y="{legend_y - 9}" width="10" height="10" '
+            f'fill="{_PHASE_COLORS[name]}"/>'
+            f'<text x="{x + 13:.1f}" y="{legend_y}" font-size="9">'
+            f"{name.split('_')[0]}</text>"
+        )
+        x += 82
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html(data: Mapping[str, Any], title: str = "repro dashboard",
+                ) -> str:
+    """Single-file HTML report (inline SVG, no scripts, no assets)."""
+    burn: BurnRateTracker = data["burn"]
+    attribution: AttributionReport = data["attribution"]
+    causes = attribution.dominant_causes()
+
+    tier_rows = "".join(
+        "<tr><td>{tier}</td><td>{completed}</td><td>{violated}</td>"
+        "<td>{goodput_pct:.2f}%</td><td>{ttft}</td><td>{ttlt}</td></tr>"
+        .format(
+            tier=html.escape(row["tier"]),
+            completed=row["completed"],
+            violated=row["violated"],
+            goodput_pct=row["goodput_pct"],
+            ttft=" / ".join(
+                _fmt_s(row["ttft"][q]) for q in _QUANTILES
+            ) if row["ttft"] else "-",
+            ttlt=" / ".join(
+                _fmt_s(row["ttlt"][q]) for q in _QUANTILES
+            ) if row["ttlt"] else "-",
+        )
+        for row in data["tiers"]
+    )
+    cause_rows = "".join(
+        f"<tr><td>{html.escape(cause)}</td><td>{count}</td></tr>"
+        for cause, count in sorted(
+            causes.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ) or '<tr><td colspan="2">no violations</td></tr>'
+
+    span = data["span"]
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>
+body {{ font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 720px; color: #222; }}
+h1 {{ font-size: 1.3em; }} h2 {{ font-size: 1.05em; margin-top: 1.6em; }}
+table {{ border-collapse: collapse; width: 100%; }}
+th, td {{ text-align: left; padding: 4px 10px;
+          border-bottom: 1px solid #ddd; }}
+.kpi {{ display: inline-block; margin-right: 2.5em; }}
+.kpi b {{ font-size: 1.5em; display: block; }}
+</style></head><body>
+<h1>{html.escape(title)}</h1>
+<p>
+<span class="kpi"><b>{data['goodput_pct']:.2f}%</b>goodput</span>
+<span class="kpi"><b>{data['completed']}</b>completed</span>
+<span class="kpi"><b>{data['violated']}</b>violated</span>
+<span class="kpi"><b>{burn.max_burn_rate():.2f}x</b>peak burn</span>
+<span class="kpi"><b>{_fmt_s(span[1] - span[0])}</b>trace span</span>
+</p>
+<h2>SLO burn rate (window {burn.window:.0f}s,
+budget {burn.slo_budget:.1%})</h2>
+{_svg_burn_timeline(burn)}
+<h2>Latency attribution waterfall</h2>
+{_svg_waterfall(attribution)}
+<h2>Violations by dominant cause</h2>
+<table><tr><th>cause</th><th>requests</th></tr>{cause_rows}</table>
+<h2>Per-tier percentiles (p50 / p90 / p99)</h2>
+<table><tr><th>tier</th><th>completed</th><th>violated</th>
+<th>goodput</th><th>TTFT</th><th>TTLT</th></tr>{tier_rows}</table>
+<p>max attribution conservation error:
+{attribution.max_conservation_error():.2e}&nbsp;s
+over {len(attribution.requests)} requests.</p>
+</body></html>
+"""

@@ -25,6 +25,18 @@ from dataclasses import dataclass
 from typing import Any, ClassVar
 
 
+#: Trace format version, written by tooling that needs to gate on
+#: capabilities rather than sniff fields.  History:
+#:
+#: * **1** — initial event vocabulary (13 kinds).
+#: * **2** — ``IterationScheduled.queue_depth`` (scheduler backlog at
+#:   dispatch), ``RequestCompleted.qos_class`` (governing-SLO class for
+#:   latency attribution) and the ``relegation_served`` kind.  All
+#:   additions are defaulted, and :func:`validate_event` only requires
+#:   fields without defaults, so v1 traces remain valid.
+TRACE_SCHEMA_VERSION = 2
+
+
 class TraceSchemaError(ValueError):
     """A serialized event does not match the declared schema."""
 
@@ -69,6 +81,9 @@ class IterationScheduled(TraceEvent):
     num_decodes: int
     decode_context_tokens: int
     prefill_request_ids: tuple[int, ...] = ()
+    #: Scheduler backlog (pending requests) when the iteration was
+    #: planned; -1 in schema-v1 traces recorded before the field existed.
+    queue_depth: int = -1
 
 
 @dataclass(frozen=True)
@@ -93,6 +108,26 @@ class Relegated(TraceEvent):
     tier: str
     important: bool
     remaining_prefill: int
+
+
+@dataclass(frozen=True)
+class RelegationServed(TraceEvent):
+    """A relegated request finally received opportunistic service.
+
+    Emitted at the first prefill assignment after demotion; ``waited``
+    is the time spent parked behind regular work (now minus relegation
+    time).  Together with :class:`Relegated` this brackets the
+    relegation stall that latency attribution charges to the eager
+    relegation mechanism.
+    """
+
+    kind: ClassVar[str] = "relegation_served"
+
+    replica_id: int
+    request_id: int
+    tier: str
+    tokens: int
+    waited: float
 
 
 @dataclass(frozen=True)
@@ -137,6 +172,10 @@ class RequestCompleted(TraceEvent):
     relegated: bool
     violated: bool
     evictions: int
+    #: "interactive" (TTFT/TBT-governed) or "non-interactive"
+    #: (TTLT-governed); "" in schema-v1 traces, where consumers fall
+    #: back to tier-name conventions.
+    qos_class: str = ""
 
 
 @dataclass(frozen=True)
@@ -230,6 +269,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         IterationScheduled,
         ChunkSized,
         Relegated,
+        RelegationServed,
         Preempted,
         DecodeEvicted,
         RequestCompleted,
@@ -284,22 +324,49 @@ _SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
 }
 
 
+def _required_fields(cls: type[TraceEvent]) -> frozenset[str]:
+    """Fields without a dataclass default.
+
+    Defaulted fields are the schema-evolution seam: new fields must
+    ship with defaults, so older traces (which lack them) still
+    validate, and the reader reconstructs the default.
+    """
+    return frozenset(
+        field.name
+        for field in dataclasses.fields(cls)
+        if field.default is dataclasses.MISSING
+        and field.default_factory is dataclasses.MISSING
+    )
+
+
+_REQUIRED: dict[str, frozenset[str]] = {
+    kind: _required_fields(cls) for kind, cls in EVENT_TYPES.items()
+}
+
+
 def validate_event(payload: dict[str, Any]) -> None:
     """Raise :class:`TraceSchemaError` unless ``payload`` is a valid
-    serialized event (exact field set, JSON-compatible types)."""
+    serialized event.
+
+    Fields without dataclass defaults are required; defaulted fields
+    may be absent (older schema versions), but when present must
+    type-check.  Unknown fields are always rejected.
+    """
     if not isinstance(payload, dict):
         raise TraceSchemaError(f"event must be an object, got {payload!r}")
     kind = payload.get("kind")
     if kind not in _SCHEMA:
         raise TraceSchemaError(f"unknown event kind {kind!r}")
     schema = _SCHEMA[kind]
-    missing = set(schema) - set(payload)
+    missing = _REQUIRED[kind] - set(payload)
     if missing:
         raise TraceSchemaError(f"{kind}: missing fields {sorted(missing)}")
     extra = set(payload) - set(schema) - {"kind"}
     if extra:
         raise TraceSchemaError(f"{kind}: unexpected fields {sorted(extra)}")
     for name, accepted in schema.items():
+        if name not in payload:
+            continue
         value = payload[name]
         # bool passes isinstance(..., int); keep them distinct except
         # where bool is the declared type.

@@ -20,6 +20,11 @@ import math
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+
+#: Quantiles exported for sketch metrics (Prometheus summary lines).
+DEFAULT_SKETCH_QUANTILES: tuple[float, ...] = (0.50, 0.90, 0.95, 0.99)
+
 #: Default histogram boundaries for iteration latencies (seconds).
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     0.005, 0.010, 0.025, 0.050, 0.100, 0.250, 0.500, 1.0, 2.5,
@@ -110,6 +115,35 @@ class _HistogramChild:
         return out
 
 
+class _SketchChild:
+    """One labeled series of a sketch family (mergeable quantiles).
+
+    Unlike :class:`_HistogramChild`'s fixed buckets, the wrapped
+    :class:`~repro.obs.sketch.QuantileSketch` holds any quantile to a
+    relative-error bound regardless of the value range, and two
+    children can be merged exactly — the property ``pmap`` workers rely
+    on to stream percentiles without shipping raw samples.
+    """
+
+    __slots__ = ("sketch",)
+
+    def __init__(self, relative_accuracy: float) -> None:
+        self.sketch = QuantileSketch(relative_accuracy)
+
+    def observe(self, value: float) -> None:
+        self.sketch.add(value)
+
+    def merge(self, other: "_SketchChild") -> None:
+        self.sketch.merge(other.sketch)
+
+    @property
+    def count(self) -> int:
+        return self.sketch.count
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+
 class MetricFamily:
     """A named metric with a fixed type and label dimensions."""
 
@@ -120,8 +154,9 @@ class MetricFamily:
         kind: str,
         labelnames: tuple[str, ...] = (),
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
     ) -> None:
-        if kind not in ("counter", "gauge", "histogram"):
+        if kind not in ("counter", "gauge", "histogram", "sketch"):
             raise ValueError(f"unknown metric kind {kind!r}")
         self.name = name
         self.help_text = help_text
@@ -131,7 +166,11 @@ class MetricFamily:
             self.buckets = tuple(sorted(float(b) for b in buckets))
             if not self.buckets:
                 raise ValueError("histogram needs at least one bucket")
-        self._children: dict[tuple[str, ...], _Child | _HistogramChild] = {}
+        if kind == "sketch":
+            self.relative_accuracy = float(relative_accuracy)
+        self._children: dict[
+            tuple[str, ...], _Child | _HistogramChild | _SketchChild
+        ] = {}
 
     # --- series access ---------------------------------------------------
 
@@ -149,11 +188,12 @@ class MetricFamily:
             )
         child = self._children.get(key)
         if child is None:
-            child = (
-                _HistogramChild(self.buckets)
-                if self.kind == "histogram"
-                else _Child()
-            )
+            if self.kind == "histogram":
+                child = _HistogramChild(self.buckets)
+            elif self.kind == "sketch":
+                child = _SketchChild(self.relative_accuracy)
+            else:
+                child = _Child()
             self._children[key] = child
         return child
 
@@ -173,11 +213,13 @@ class MetricFamily:
     @property
     def value(self) -> float:
         child = self._default_child()
-        if isinstance(child, _HistogramChild):
-            raise TypeError("histograms have no scalar value")
+        if isinstance(child, (_HistogramChild, _SketchChild)):
+            raise TypeError(f"{self.kind}s have no scalar value")
         return child.value
 
-    def series(self) -> dict[tuple[str, ...], _Child | _HistogramChild]:
+    def series(
+        self,
+    ) -> dict[tuple[str, ...], "_Child | _HistogramChild | _SketchChild"]:
         """All live children, keyed by label values (sorted)."""
         return dict(sorted(self._children.items()))
 
@@ -226,6 +268,17 @@ class MetricsRegistry:
                          buckets=buckets)
         )
 
+    def sketch(
+        self, name: str, help_text: str = "",
+        labelnames: tuple[str, ...] = (),
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ) -> MetricFamily:
+        """A mergeable quantile-sketch family (exported as a summary)."""
+        return self._register(
+            MetricFamily(name, help_text, "sketch", labelnames,
+                         relative_accuracy=relative_accuracy)
+        )
+
     def families(self) -> list[MetricFamily]:
         return [self._families[k] for k in sorted(self._families)]
 
@@ -237,10 +290,25 @@ class MetricsRegistry:
         for family in self.families():
             if family.help_text:
                 lines.append(f"# HELP {family.name} {family.help_text}")
-            lines.append(f"# TYPE {family.name} {family.kind}")
+            # Sketches scrape as Prometheus summaries (quantile lines).
+            kind = "summary" if family.kind == "sketch" else family.kind
+            lines.append(f"# TYPE {family.name} {kind}")
             for labelvalues, child in family.series().items():
                 labels = _format_labels(family.labelnames, labelvalues)
-                if isinstance(child, _HistogramChild):
+                if isinstance(child, _SketchChild):
+                    for q in DEFAULT_SKETCH_QUANTILES:
+                        q_labels = _format_labels(
+                            family.labelnames + ("quantile",),
+                            labelvalues + (format_value(q),),
+                        )
+                        lines.append(
+                            f"{family.name}{q_labels} "
+                            f"{format_value(child.quantile(q))}"
+                        )
+                    lines.append(
+                        f"{family.name}_count{labels} {child.count}"
+                    )
+                elif isinstance(child, _HistogramChild):
                     for le, cum in child.cumulative():
                         le_labels = _merge_le(
                             family.labelnames, labelvalues, le
@@ -271,7 +339,19 @@ class MetricsRegistry:
             }
             for labelvalues, child in family.series().items():
                 labels = dict(zip(family.labelnames, labelvalues))
-                if isinstance(child, _HistogramChild):
+                if isinstance(child, _SketchChild):
+                    entry["series"].append({
+                        "labels": labels,
+                        "quantiles": {
+                            format_value(q): (
+                                child.quantile(q) if child.count else None
+                            )
+                            for q in DEFAULT_SKETCH_QUANTILES
+                        },
+                        "count": child.count,
+                        "sketch": child.sketch.to_dict(),
+                    })
+                elif isinstance(child, _HistogramChild):
                     entry["series"].append({
                         "labels": labels,
                         "buckets": {

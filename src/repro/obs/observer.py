@@ -21,7 +21,7 @@ without threading an argument through each experiment driver.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.obs.events import (
     ChunkSized,
@@ -30,6 +30,7 @@ from repro.obs.events import (
     KVCacheSnapshot,
     Preempted,
     Relegated,
+    RelegationServed,
     ReplicaCrashed,
     ReplicaRecovered,
     ReplicaSlowdown,
@@ -43,7 +44,8 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
 )
-from repro.obs.trace import TraceRecorder
+from repro.obs.sketch import BurnRateTracker
+from repro.obs.trace import RingSink, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.chunking import ChunkDecision
@@ -70,8 +72,13 @@ class Observer:
         exec_time: float,
         plan: "BatchPlan",
         iteration: int,
+        queue_depth: int = -1,
     ) -> None:
-        """An iteration was planned; it will finish at ``now + exec_time``."""
+        """An iteration was planned; it will finish at ``now + exec_time``.
+
+        ``queue_depth`` is the scheduler backlog at dispatch (-1 when
+        the caller does not know it).
+        """
 
     def on_iteration_end(
         self,
@@ -96,6 +103,15 @@ class Observer:
         self, now: float, plan: "RelegationPlan"
     ) -> None:
         """A relegation feasibility scan finished (may be empty)."""
+
+    def on_relegation_served(
+        self,
+        replica_id: int,
+        request: "Request",
+        now: float,
+        tokens: int,
+    ) -> None:
+        """A relegated request received its first opportunistic chunk."""
 
     def on_preempted(
         self,
@@ -279,11 +295,43 @@ class TracingObserver(Observer):
             "repro_requests_cancelled_total",
             "Requests abandoned before completion", ("tier", "reason"),
         )
+        self._relegations_served = reg.counter(
+            "repro_relegations_served_total",
+            "Relegated requests that received opportunistic service",
+            ("tier",),
+        )
+        self._events_dropped = reg.counter(
+            "repro_trace_events_dropped_total",
+            "Trace events shed by bounded-memory ring sinks",
+        )
+        # Per-tier latency sketches: mergeable percentiles replacing
+        # fixed-bucket histograms for the three governing latencies.
+        self._ttft_sketch = reg.sketch(
+            "repro_request_ttft_seconds",
+            "Time to first token per completed request", ("tier",),
+        )
+        self._tbt_sketch = reg.sketch(
+            "repro_request_tbt_seconds",
+            "Mean time between tokens per completed request", ("tier",),
+        )
+        self._ttlt_sketch = reg.sketch(
+            "repro_request_ttlt_seconds",
+            "Time to last token per completed request", ("tier",),
+        )
+        #: Windowed SLO burn rate over simulated time (one verdict per
+        #: completion, at completion time).
+        self.burn_rate = BurnRateTracker()
+        # Bounded ring sinks silently shed their oldest events; surface
+        # the loss as a counter so lossy traces are visible in scrapes.
+        for sink in self.recorder.sinks:
+            if isinstance(sink, RingSink) and sink.on_drop is None:
+                sink.on_drop = self._events_dropped.inc
 
     # --- engine hooks ----------------------------------------------------
 
     def on_iteration_start(
-        self, replica_id, now, exec_time, plan, iteration
+        self, replica_id, now, exec_time, plan, iteration,
+        queue_depth: int = -1,
     ) -> None:
         prefill_tokens = plan.prefill_tokens
         self.recorder.emit(IterationScheduled(
@@ -300,6 +348,7 @@ class TracingObserver(Observer):
             prefill_request_ids=tuple(
                 a.request.request_id for a in plan.prefill_assignments
             ),
+            queue_depth=queue_depth,
         ))
         replica = str(replica_id)
         self._iterations.labels(replica).inc()
@@ -353,6 +402,22 @@ class TracingObserver(Observer):
         if plan.important_saved:
             self._important_saved.inc(plan.important_saved)
 
+    def on_relegation_served(
+        self, replica_id, request, now, tokens
+    ) -> None:
+        relegated_at = request.relegated_time
+        self.recorder.emit(RelegationServed(
+            ts=now,
+            replica_id=replica_id,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            tokens=tokens,
+            waited=(
+                now - relegated_at if relegated_at is not None else 0.0
+            ),
+        ))
+        self._relegations_served.labels(request.qos.name).inc()
+
     def on_preempted(
         self, replica_id, request, now, prefill_tokens_lost
     ) -> None:
@@ -393,11 +458,28 @@ class TracingObserver(Observer):
             relegated=request.relegated,
             violated=violated,
             evictions=request.evictions,
+            qos_class=request.qos.qos_class.value,
         ))
         tier = request.qos.name
         self._completed.labels(tier).inc()
         if violated:
             self._violations.labels(tier).inc()
+        ttft = request.ttft
+        if ttft is not None:
+            self._ttft_sketch.labels(tier).observe(ttft)
+        ttlt = request.ttlt
+        if ttlt is not None:
+            self._ttlt_sketch.labels(tier).observe(ttlt)
+        if (
+            request.first_token_time is not None
+            and request.completion_time is not None
+            and request.decoded > 1
+        ):
+            self._tbt_sketch.labels(tier).observe(
+                (request.completion_time - request.first_token_time)
+                / (request.decoded - 1)
+            )
+        self.burn_rate.observe(now, violated)
 
     # --- fault hooks ------------------------------------------------------
 
@@ -461,6 +543,31 @@ class TracingObserver(Observer):
 
     def close(self) -> None:
         self.recorder.close()
+
+
+class MultiObserver(Observer):
+    """Fan every hook out to a list of observers, in order.
+
+    Lets the experiment runner chain an in-memory audit collector with
+    whatever observer is already installed (e.g. the CLI's tracing
+    observer) without displacing either: both see the identical hook
+    stream, and neither can perturb the simulation — the same
+    read-only contract as any single observer.
+    """
+
+    def __init__(self, observers: "Iterable[Observer]") -> None:
+        self.observers: tuple[Observer, ...] = tuple(observers)
+
+    def __getattribute__(self, name: str):
+        if name.startswith("on_"):
+            observers = object.__getattribute__(self, "observers")
+
+            def fan_out(*args, **kwargs) -> None:
+                for observer in observers:
+                    getattr(observer, name)(*args, **kwargs)
+
+            return fan_out
+        return object.__getattribute__(self, name)
 
 
 # --- process-wide default observer ------------------------------------

@@ -1,0 +1,438 @@
+"""Mergeable quantile sketches and windowed SLO burn-rate counters.
+
+Percentile machinery that *streams and merges* instead of buffering
+every sample, so ``--jobs N`` experiment workers can ship a few hundred
+integers back to the parent instead of raw latency lists, and a fleet
+of replicas can be aggregated without ever holding the union of their
+samples.
+
+:class:`QuantileSketch` is a DDSketch-style log-bucketed sketch
+(Masson et al., VLDB 2019): values map to geometric buckets
+``gamma**i`` with ``gamma = (1 + a) / (1 - a)`` for a configured
+relative accuracy ``a``, so any reported quantile is within relative
+error ``a`` of the true order statistic.  Unlike fixed-bucket
+histograms (``repro.obs.metrics``), accuracy holds uniformly from
+microseconds to hours — exactly the spread between a Q1 TTFT and a Q3
+TTLT.
+
+Design constraints, pinned by tests:
+
+* **deterministic** — bucket counts are exact integers; serialization
+  sorts keys, so equal sketches are byte-identical;
+* **merge-associative** — ``merge`` adds integer bucket counts, so any
+  merge tree over the same sample multiset yields the same sketch;
+* **zero-dependency** — plain dicts and math, JSON round-trip via
+  :meth:`to_dict` / :meth:`from_dict` (this is also the pickle path
+  across ``pmap`` process boundaries).
+
+:class:`BurnRateTracker` is the alerting-style companion: it buckets
+SLO verdicts into fixed windows of *simulated* time and reports the
+violation rate of each window as a multiple of the SLO error budget
+(the "burn rate" of Google's SRE workbook).  A burn rate of 1.0 spends
+the budget exactly; sustained rates above it predict the overall SLO
+miss long before the run ends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = ["QuantileSketch", "BurnRateTracker", "merge_sketches"]
+
+#: Default relative-error bound: 1% of the value at any quantile.
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+
+class QuantileSketch:
+    """Log-bucketed mergeable quantile sketch (DDSketch-style).
+
+    Args:
+        relative_accuracy: Bound ``a`` such that for any quantile ``q``
+            the estimate ``x`` satisfies ``|x - x_true| <= a * x_true``
+            where ``x_true`` is the exact lower order statistic
+            (``numpy.quantile(..., method="lower")``).  Must be in
+            (0, 1).
+
+    Values of any sign are accepted: positives and negatives keep
+    separate bucket stores (a negative value is sketched as its
+    magnitude), zeros are counted exactly.  Non-finite values are
+    rejected — a latency of NaN is a bug upstream, not a sample.
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_neg_buckets",
+        "_zero_count",
+        "_count",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got "
+                f"{relative_accuracy!r}"
+            )
+        self.relative_accuracy = float(relative_accuracy)
+        self._gamma = (1.0 + self.relative_accuracy) / (
+            1.0 - self.relative_accuracy
+        )
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._neg_buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # --- recording -----------------------------------------------------
+
+    def _bucket_index(self, magnitude: float) -> int:
+        """Index ``i`` with ``gamma**(i-1) < magnitude <= gamma**i``."""
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _bucket_value(self, index: int) -> float:
+        """Representative value of bucket ``index`` (midpoint in the
+        relative sense): within ``relative_accuracy`` of every value
+        the bucket covers."""
+        return (
+            2.0
+            * self._gamma**index
+            / (self._gamma + 1.0)
+        )
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``value`` with multiplicity ``count``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"cannot sketch non-finite value {value!r}")
+        if value == 0.0:
+            self._zero_count += count
+        elif value > 0.0:
+            index = self._bucket_index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        else:
+            index = self._bucket_index(-value)
+            self._neg_buckets[index] = (
+                self._neg_buckets.get(index, 0) + count
+            )
+        self._count += count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # --- queries -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded value (exact); ``inf`` when empty."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest recorded value (exact); ``-inf`` when empty."""
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (lower order statistic).
+
+        Targets rank ``floor(q * (count - 1))`` — the convention of
+        ``numpy.quantile(..., method="lower")`` — and returns a value
+        within ``relative_accuracy`` (relative) of the exact sample at
+        that rank.  Returns NaN on an empty sketch.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return float("nan")
+        rank = int(q * (self._count - 1))  # 0-based target rank
+        # Walk the value-ordered bucket sequence: negatives descending
+        # by index (most negative first), zeros, positives ascending.
+        running = 0
+        for index in sorted(self._neg_buckets, reverse=True):
+            running += self._neg_buckets[index]
+            if running > rank:
+                return self._clamp(-self._bucket_value(index))
+        running += self._zero_count
+        if running > rank:
+            return 0.0
+        for index in sorted(self._buckets):
+            running += self._buckets[index]
+            if running > rank:
+                return self._clamp(self._bucket_value(index))
+        return self._max  # numerically unreachable; guards float slop
+
+    def _clamp(self, value: float) -> float:
+        """Exact extremes beat bucket estimates at the edges."""
+        return min(self._max, max(self._min, value))
+
+    def quantiles(
+        self, qs: Iterable[float] = (0.50, 0.95, 0.99)
+    ) -> dict[float, float]:
+        return {q: self.quantile(q) for q in qs}
+
+    # --- merging -------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (in place); returns self.
+
+        Merging is exact: bucket counts add, so the merged sketch is
+        identical to one built from the union of both sample streams,
+        regardless of how samples were partitioned or merge order.
+        """
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different accuracies: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        for index, n in other._neg_buckets.items():
+            self._neg_buckets[index] = (
+                self._neg_buckets.get(index, 0) + n
+            )
+        self._zero_count += other._zero_count
+        self._count += other._count
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    # --- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot; keys sorted so equal sketches are
+        byte-identical after ``json.dumps(..., sort_keys=True)``."""
+        return {
+            "kind": "ddsketch",
+            "relative_accuracy": self.relative_accuracy,
+            "count": self._count,
+            "zero_count": self._zero_count,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": {
+                str(i): self._buckets[i] for i in sorted(self._buckets)
+            },
+            "neg_buckets": {
+                str(i): self._neg_buckets[i]
+                for i in sorted(self._neg_buckets)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QuantileSketch":
+        if payload.get("kind") != "ddsketch":
+            raise ValueError(
+                f"not a serialized sketch: {payload.get('kind')!r}"
+            )
+        sketch = cls(relative_accuracy=payload["relative_accuracy"])
+        sketch._buckets = {
+            int(i): int(n) for i, n in payload["buckets"].items()
+        }
+        sketch._neg_buckets = {
+            int(i): int(n) for i, n in payload["neg_buckets"].items()
+        }
+        sketch._zero_count = int(payload["zero_count"])
+        sketch._count = int(payload["count"])
+        sketch._min = (
+            float(payload["min"]) if payload["min"] is not None
+            else math.inf
+        )
+        sketch._max = (
+            float(payload["max"]) if payload["max"] is not None
+            else -math.inf
+        )
+        return sketch
+
+    # Pickling (pmap workers) goes through the dict form so the wire
+    # format and the disk format can never diverge.
+    def __reduce__(self):
+        return (QuantileSketch.from_dict, (self.to_dict(),))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(n={self._count}, "
+            f"a={self.relative_accuracy}, "
+            f"buckets={len(self._buckets) + len(self._neg_buckets)})"
+        )
+
+
+def merge_sketches(
+    sketches: Iterable[QuantileSketch | Mapping[str, Any] | None],
+    relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+) -> QuantileSketch:
+    """Merge a stream of sketches (or their serialized dicts).
+
+    ``None`` entries are skipped so callers can feed partially failed
+    worker outputs directly.  An all-empty input yields an empty sketch
+    with ``relative_accuracy``.
+    """
+    merged: QuantileSketch | None = None
+    for sketch in sketches:
+        if sketch is None:
+            continue
+        if isinstance(sketch, Mapping):
+            sketch = QuantileSketch.from_dict(sketch)
+        if merged is None:
+            merged = QuantileSketch(sketch.relative_accuracy)
+        merged.merge(sketch)
+    return merged if merged is not None else QuantileSketch(
+        relative_accuracy
+    )
+
+
+class BurnRateTracker:
+    """Windowed SLO burn rate over simulated time.
+
+    Args:
+        window: Width of each window in simulated seconds.
+        slo_budget: Allowed violation fraction (the paper's goodput
+            bar is 1%, i.e. ``0.01``).  Burn rate = window violation
+            rate / budget: 1.0 spends the budget exactly, >1.0 burns
+            it faster than allowed.
+
+    Observations are ``(ts, violated)`` verdicts — typically one per
+    ``request_completed`` event, stamped at completion time.  Windows
+    are half-open ``[k * window, (k + 1) * window)``; merging trackers
+    adds per-window counts, with the same associativity guarantee as
+    :class:`QuantileSketch`.
+    """
+
+    __slots__ = ("window", "slo_budget", "_totals", "_violations")
+
+    def __init__(self, window: float = 60.0, slo_budget: float = 0.01):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if not 0.0 < slo_budget <= 1.0:
+            raise ValueError(
+                f"slo_budget must be in (0, 1], got {slo_budget}"
+            )
+        self.window = float(window)
+        self.slo_budget = float(slo_budget)
+        self._totals: dict[int, int] = {}
+        self._violations: dict[int, int] = {}
+
+    def observe(self, ts: float, violated: bool) -> None:
+        """Record one SLO verdict at simulated time ``ts``."""
+        if not math.isfinite(ts):
+            raise ValueError(f"non-finite timestamp {ts!r}")
+        index = math.floor(ts / self.window)
+        self._totals[index] = self._totals.get(index, 0) + 1
+        if violated:
+            self._violations[index] = self._violations.get(index, 0) + 1
+
+    def merge(self, other: "BurnRateTracker") -> "BurnRateTracker":
+        if (
+            other.window != self.window
+            or other.slo_budget != self.slo_budget
+        ):
+            raise ValueError(
+                "cannot merge burn-rate trackers with different "
+                "window/budget"
+            )
+        for index, n in other._totals.items():
+            self._totals[index] = self._totals.get(index, 0) + n
+        for index, n in other._violations.items():
+            self._violations[index] = self._violations.get(index, 0) + n
+        return self
+
+    @property
+    def total(self) -> int:
+        return sum(self._totals.values())
+
+    @property
+    def violated(self) -> int:
+        return sum(self._violations.values())
+
+    def series(self) -> list[dict[str, float]]:
+        """Per-window burn rates, gap windows included (rate 0).
+
+        Returns rows ``{start, end, total, violated, burn_rate}``
+        covering the contiguous span from the first to the last
+        observed window, so timelines render without holes.
+        """
+        if not self._totals:
+            return []
+        first = min(self._totals)
+        last = max(self._totals)
+        rows: list[dict[str, float]] = []
+        for index in range(first, last + 1):
+            total = self._totals.get(index, 0)
+            violated = self._violations.get(index, 0)
+            rate = (violated / total) if total else 0.0
+            rows.append({
+                "start": index * self.window,
+                "end": (index + 1) * self.window,
+                "total": total,
+                "violated": violated,
+                "burn_rate": rate / self.slo_budget,
+            })
+        return rows
+
+    def max_burn_rate(self) -> float:
+        """Peak window burn rate (0.0 when nothing observed)."""
+        rows = self.series()
+        return max((r["burn_rate"] for r in rows), default=0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "burn_rate",
+            "window": self.window,
+            "slo_budget": self.slo_budget,
+            "totals": {str(i): self._totals[i]
+                       for i in sorted(self._totals)},
+            "violations": {str(i): self._violations[i]
+                           for i in sorted(self._violations)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BurnRateTracker":
+        if payload.get("kind") != "burn_rate":
+            raise ValueError(
+                f"not a serialized burn-rate tracker: "
+                f"{payload.get('kind')!r}"
+            )
+        tracker = cls(
+            window=payload["window"], slo_budget=payload["slo_budget"]
+        )
+        tracker._totals = {
+            int(i): int(n) for i, n in payload["totals"].items()
+        }
+        tracker._violations = {
+            int(i): int(n) for i, n in payload["violations"].items()
+        }
+        return tracker
+
+    def __reduce__(self):
+        return (BurnRateTracker.from_dict, (self.to_dict(),))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BurnRateTracker):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()

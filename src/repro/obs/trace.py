@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from collections import Counter, deque
 from pathlib import Path
-from typing import Any, Iterable, Protocol
+from typing import Any, Callable, Iterable, Protocol
 
 from repro.obs.events import TraceEvent, validate_event
 
@@ -32,18 +32,32 @@ class TraceSink(Protocol):
 
 
 class RingSink:
-    """Keep the most recent ``capacity`` events; count what was shed."""
+    """Keep the most recent ``capacity`` events; count what was shed.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    ``on_drop`` (if given) fires once per event shed from the front of
+    the ring — :class:`~repro.obs.observer.TracingObserver` wires it to
+    the ``repro_trace_events_dropped_total`` counter so bounded-memory
+    tracing is never *silently* lossy.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        on_drop: Callable[[], None] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._ring: deque[dict[str, Any]] = deque(maxlen=self.capacity)
         self.appended = 0
+        self.on_drop = on_drop
 
     def append(self, payload: dict[str, Any]) -> None:
+        shedding = len(self._ring) == self.capacity
         self._ring.append(payload)
         self.appended += 1
+        if shedding and self.on_drop is not None:
+            self.on_drop()
 
     @property
     def dropped(self) -> int:

@@ -93,6 +93,46 @@ class TestBreakdowns:
         assert report.relegated_pct == pytest.approx(25.0)
 
 
+class TestPerTierEdgeCases:
+    def test_absent_tier_is_nan_and_not_in_breakdown(self):
+        report = violation_report([served(1, qos=Q1)])
+        assert math.isnan(report.tier("Q3"))
+        assert "Q3" not in report.per_tier_pct
+        assert set(report.per_tier_pct) == {"Q1"}
+
+    def test_all_violated_tier(self):
+        requests = [served(i, qos=Q1, ttft=50.0) for i in range(3)]
+        requests.append(served(99, qos=Q2, ttft=1.0))
+        report = violation_report(requests)
+        assert report.tier("Q1") == pytest.approx(100.0)
+        assert report.tier("Q2") == 0.0
+        assert report.overall_pct == pytest.approx(75.0)
+
+    def test_single_request_tier(self):
+        report = violation_report(
+            [served(1, qos=Q1), served(2, qos=Q3, ttft=1.0)]
+        )
+        assert report.tier("Q3") in (0.0, 100.0)  # no fractional pct
+
+    def test_nan_latency_requests_stay_finite(self):
+        """Unfinished requests have NaN governing latency; the report
+        must still produce finite percentages (violated is a boolean
+        judgement, never NaN-propagating arithmetic)."""
+        unfinished = make_request(request_id=1, arrival_time=0.0, qos=Q1)
+        assert not unfinished.is_finished
+        done = served(2, qos=Q1)
+        report = violation_report([unfinished, done])
+        assert report.total_requests == 2
+        assert not math.isnan(report.overall_pct)
+        assert not math.isnan(report.tier("Q1"))
+        assert report.tier("Q1") == pytest.approx(50.0)
+
+    def test_all_tiers_empty_report(self):
+        report = violation_report([])
+        assert report.per_tier_pct == {}
+        assert math.isnan(report.tier("Q1"))
+
+
 class TestTbtAccounting:
     def test_on_time_requests_with_clean_pacing(self):
         report = violation_report([served(1, decode_tokens=10)])

@@ -244,3 +244,79 @@ class TestTimed:
         with pytest.raises(RuntimeError):
             boom()
         assert profiler.counts["boom"] == 1
+
+
+class TestMultiObserver:
+    def test_fans_out_every_hook(self, execution_model):
+        from repro.obs.observer import MultiObserver
+
+        sink_a, sink_b = ListSink(), ListSink()
+        multi = MultiObserver([
+            TracingObserver(recorder=TraceRecorder([sink_a])),
+            TracingObserver(recorder=TraceRecorder([sink_b])),
+        ])
+        run_engine(execution_model, observer=multi)
+        assert sink_a.events  # both children saw the full stream
+        assert sink_a.events == sink_b.events
+
+    def test_preserves_determinism_pin(self, execution_model):
+        from repro.obs.observer import MultiObserver
+
+        baseline, _ = run_engine(execution_model)
+        multi = MultiObserver([TracingObserver(), NULL_OBSERVER])
+        observed, _ = run_engine(execution_model, observer=multi)
+        assert json.dumps(
+            summary_to_dict(baseline), sort_keys=True
+        ) == json.dumps(summary_to_dict(observed), sort_keys=True)
+
+
+class TestDroppedEventsCounter:
+    def test_ring_overflow_counted_as_metric(self, execution_model):
+        from repro.obs.trace import RingSink
+
+        ring = RingSink(capacity=8)  # tiny: guaranteed overflow
+        observer = TracingObserver(recorder=TraceRecorder([ring]))
+        run_engine(execution_model, observer=observer)
+        entry = observer.registry.to_dict()[
+            "repro_trace_events_dropped_total"
+        ]
+        [series] = entry["series"]
+        assert series["value"] == ring.dropped > 0
+
+
+class TestRelegationServedEvent:
+    def test_emitted_once_per_relegated_request(self, execution_model):
+        # Relegation needs the EDF base (hybrid prioritization masks
+        # it) and real overload; qps 12 demotes a handful of requests.
+        from repro.schedulers.qoserve import make_ablation_config
+
+        sink = ListSink()
+        observer = TracingObserver(recorder=TraceRecorder([sink]))
+        trace = build_trace(
+            AZURE_CODE, qps=1.0, num_requests=150, seed=5
+        ).scaled_arrivals(12.0)
+        config = make_ablation_config(
+            dynamic_chunking=True, eager_relegation=True
+        )
+        scheduler = make_scheduler(
+            "qoserve", execution_model, qoserve_config=config
+        )
+        summary, _ = run_replica_trace(
+            execution_model, scheduler, trace, observer=observer
+        )
+        assert summary.scheduler_stats["relegations_total"] > 0, (
+            "workload must actually trigger relegation"
+        )
+        relegated = {
+            e["request_id"] for e in sink.events
+            if e["kind"] == "relegated"
+        }
+        served = [
+            e for e in sink.events if e["kind"] == "relegation_served"
+        ]
+        served_ids = {e["request_id"] for e in served}
+        assert served_ids, "no relegated request was ever served"
+        assert len(served) == len(served_ids), "must emit at most once"
+        assert served_ids <= relegated
+        for event in served:
+            assert event["waited"] >= 0.0

@@ -1,0 +1,247 @@
+"""Unit tests for mergeable quantile sketches and burn-rate counters."""
+
+import json
+import math
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import pmap
+from repro.obs.sketch import (
+    BurnRateTracker,
+    QuantileSketch,
+    merge_sketches,
+)
+
+QS = (0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0)
+
+
+def sample_sets():
+    rng = random.Random(1234)
+    return {
+        "uniform": [rng.uniform(0.001, 10.0) for _ in range(2000)],
+        "lognormal": [
+            math.exp(rng.gauss(0.0, 2.0)) for _ in range(2000)
+        ],
+        "wide": [10.0 ** rng.uniform(-6, 4) for _ in range(500)],
+        "with_zeros_negatives": (
+            [0.0] * 50
+            + [-rng.uniform(0.01, 5.0) for _ in range(200)]
+            + [rng.uniform(0.01, 5.0) for _ in range(200)]
+        ),
+        "tiny": [0.5],
+        "pair": [1.0, 2.0],
+    }
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("name", sorted(sample_sets()))
+    def test_within_relative_error_of_numpy_lower(self, name):
+        values = sample_sets()[name]
+        accuracy = 0.01
+        sketch = QuantileSketch(relative_accuracy=accuracy)
+        sketch.extend(values)
+        for q in QS:
+            exact = float(np.quantile(values, q, method="lower"))
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= accuracy * abs(exact) + 1e-12, (
+                f"{name} q={q}: estimate={estimate} exact={exact}"
+            )
+
+    def test_min_max_exact(self):
+        values = sample_sets()["lognormal"]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        # The extreme quantiles stay inside the exact [min, max] range
+        # and within the relative-error band of the true extremes.
+        assert min(values) <= sketch.quantile(0.0) <= max(values)
+        assert min(values) <= sketch.quantile(1.0) <= max(values)
+        assert sketch.quantile(0.0) == pytest.approx(
+            min(values), rel=sketch.relative_accuracy
+        )
+        assert sketch.quantile(1.0) == pytest.approx(
+            max(values), rel=sketch.relative_accuracy
+        )
+
+    def test_empty_is_nan(self):
+        sketch = QuantileSketch()
+        assert math.isnan(sketch.quantile(0.5))
+        assert sketch.count == 0
+
+    def test_rejects_non_finite(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.add(float("nan"))
+        with pytest.raises(ValueError):
+            sketch.add(float("inf"))
+
+    def test_rejects_bad_accuracy_and_quantile(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=1.0)
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            sketch.add(1.0, count=0)
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        values = sample_sets()["lognormal"]
+        whole = QuantileSketch()
+        whole.extend(values)
+        left, right = QuantileSketch(), QuantileSketch()
+        left.extend(values[:700])
+        right.extend(values[700:])
+        assert left.merge(right) == whole
+
+    def test_merge_associative_any_grouping(self):
+        values = sample_sets()["uniform"]
+        chunks = [values[i::5] for i in range(5)]
+        parts = []
+        for chunk in chunks:
+            sketch = QuantileSketch()
+            sketch.extend(chunk)
+            parts.append(sketch)
+        # Left fold vs pairwise-tree fold vs reversed order.
+        left_fold = merge_sketches(parts)
+        tree = merge_sketches(
+            [
+                merge_sketches(parts[:2]),
+                merge_sketches(parts[2:4]),
+                parts[4],
+            ]
+        )
+        reverse = merge_sketches(list(reversed(parts)))
+        assert left_fold == tree == reverse
+        d = json.dumps(left_fold.to_dict(), sort_keys=True)
+        assert d == json.dumps(tree.to_dict(), sort_keys=True)
+        assert d == json.dumps(reverse.to_dict(), sort_keys=True)
+
+    def test_merge_accepts_dicts_and_none(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        a.extend([1.0, 2.0])
+        b.extend([3.0])
+        merged = merge_sketches([None, a.to_dict(), None, b])
+        assert merged.count == 3
+
+    def test_merge_all_empty(self):
+        merged = merge_sketches([None, None])
+        assert merged.count == 0
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        a = QuantileSketch(relative_accuracy=0.01)
+        b = QuantileSketch(relative_accuracy=0.02)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sketch = QuantileSketch()
+        sketch.extend(sample_sets()["with_zeros_negatives"])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone == sketch
+        assert clone.quantile(0.5) == sketch.quantile(0.5)
+
+    def test_byte_identical_serialization(self):
+        values = sample_sets()["uniform"]
+        a, b = QuantileSketch(), QuantileSketch()
+        a.extend(values)
+        b.extend(list(reversed(values)))  # insertion order must not matter
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_pickle_goes_through_dict_form(self):
+        sketch = QuantileSketch()
+        sketch.extend([0.1, 1.0, 10.0])
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone == sketch
+
+    def test_from_dict_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict({"kind": "histogram"})
+
+
+def _sketch_worker(chunk):
+    """Module-level pmap worker: sketch one chunk of samples."""
+    sketch = QuantileSketch()
+    sketch.extend(chunk)
+    return sketch.to_dict()
+
+
+class TestPmapDeterminism:
+    def test_serial_vs_parallel_merge_byte_identical(self):
+        values = sample_sets()["lognormal"]
+        chunks = [values[i::4] for i in range(4)]
+        serial = pmap(_sketch_worker, chunks, jobs=1)
+        parallel = pmap(_sketch_worker, chunks, jobs=2)
+        merged_serial = merge_sketches(serial)
+        merged_parallel = merge_sketches(parallel)
+        assert json.dumps(
+            merged_serial.to_dict(), sort_keys=True
+        ) == json.dumps(merged_parallel.to_dict(), sort_keys=True)
+
+
+class TestBurnRate:
+    def test_windowing_and_rates(self):
+        tracker = BurnRateTracker(window=10.0, slo_budget=0.1)
+        for ts in (0.0, 1.0, 9.999):  # window [0, 10)
+            tracker.observe(ts, violated=False)
+        tracker.observe(10.0, violated=True)   # window [10, 20)
+        tracker.observe(15.0, violated=False)
+        rows = tracker.series()
+        assert len(rows) == 2
+        assert rows[0]["burn_rate"] == 0.0
+        assert rows[1]["burn_rate"] == pytest.approx(0.5 / 0.1)
+        assert tracker.max_burn_rate() == pytest.approx(5.0)
+        assert tracker.total == 5
+        assert tracker.violated == 1
+
+    def test_gap_windows_filled(self):
+        tracker = BurnRateTracker(window=1.0)
+        tracker.observe(0.5, violated=False)
+        tracker.observe(3.5, violated=True)
+        rows = tracker.series()
+        assert [r["total"] for r in rows] == [1, 0, 0, 1]
+        assert rows[1]["burn_rate"] == 0.0
+
+    def test_merge_matches_union(self):
+        a = BurnRateTracker(window=5.0)
+        b = BurnRateTracker(window=5.0)
+        verdicts = [(0.1, True), (2.0, False), (7.0, True), (12.0, False)]
+        whole = BurnRateTracker(window=5.0)
+        for i, (ts, bad) in enumerate(verdicts):
+            whole.observe(ts, bad)
+            (a if i % 2 == 0 else b).observe(ts, bad)
+        assert a.merge(b) == whole
+
+    def test_merge_rejects_mismatched_config(self):
+        with pytest.raises(ValueError):
+            BurnRateTracker(window=5.0).merge(BurnRateTracker(window=10.0))
+
+    def test_round_trip_and_pickle(self):
+        tracker = BurnRateTracker(window=30.0, slo_budget=0.05)
+        tracker.observe(12.0, True)
+        tracker.observe(95.0, False)
+        assert BurnRateTracker.from_dict(tracker.to_dict()) == tracker
+        assert pickle.loads(pickle.dumps(tracker)) == tracker
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateTracker(window=0.0)
+        with pytest.raises(ValueError):
+            BurnRateTracker(slo_budget=0.0)
+        tracker = BurnRateTracker()
+        with pytest.raises(ValueError):
+            tracker.observe(float("nan"), False)
+        assert tracker.max_burn_rate() == 0.0
+        assert tracker.series() == []

@@ -114,6 +114,49 @@ class TestRingSink:
         with pytest.raises(ValueError):
             RingSink(capacity=0)
 
+    def test_on_drop_callback_fires_per_shed_event(self):
+        drops = []
+        ring = RingSink(capacity=2, on_drop=lambda: drops.append(1))
+        for i in range(5):
+            ring.append({"i": i})
+        assert len(drops) == 3
+        assert ring.dropped == 3
+
+
+class TestSchemaEvolution:
+    def test_v1_payload_without_defaulted_fields_validates(self):
+        """Fields added in schema v2 carry defaults; a v1 trace that
+        lacks them must still validate (old traces stay valid)."""
+        payload = iteration_event().to_dict()
+        del payload["queue_depth"]  # v2 addition
+        validate_event(payload)  # must not raise
+
+        completed = RequestCompleted(
+            ts=9.0, replica_id=0, request_id=1, tier="Q1",
+            arrival_time=0.5, scheduled_first_time=0.6,
+            first_token_time=0.9, completion_time=9.0,
+            relegated=False, violated=False, evictions=0,
+        ).to_dict()
+        del completed["qos_class"]  # v2 addition
+        validate_event(completed)  # must not raise
+
+    def test_missing_required_field_still_rejected(self):
+        payload = iteration_event().to_dict()
+        del payload["dur"]  # no default: required in every version
+        with pytest.raises(TraceSchemaError, match="missing"):
+            validate_event(payload)
+
+    def test_relegation_served_round_trips(self):
+        from repro.obs.events import RelegationServed
+
+        event = RelegationServed(
+            ts=4.0, replica_id=1, request_id=9, tier="Q3",
+            tokens=256, waited=1.5,
+        )
+        payload = event.to_dict()
+        assert payload["kind"] == "relegation_served"
+        validate_event(payload)  # registered in EVENT_TYPES
+
 
 class TestJSONLSink:
     def test_one_compact_object_per_line(self, tmp_path):
