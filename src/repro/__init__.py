@@ -13,6 +13,9 @@ composes:
 * Clusters — shared/siloed/disaggregated deployments and capacity
   planning.
 * Metrics — SLO accounting and run summaries.
+* Facade — :class:`ServeConfig` / :class:`Session` /
+  :func:`simulate`, the one-stop API over all of the above
+  (see ``repro.api``); :mod:`repro.serve` adds the online gateway.
 
 Quickstart::
 
@@ -86,6 +89,7 @@ from repro.cluster import (
     replicas_needed,
 )
 from repro.metrics import summarize_run, violation_report
+from repro.api import ServeConfig, Session, simulate
 
 __version__ = "1.0.0"
 
@@ -137,5 +141,8 @@ __all__ = [
     "replicas_needed",
     "summarize_run",
     "violation_report",
+    "ServeConfig",
+    "Session",
+    "simulate",
     "__version__",
 ]

@@ -11,6 +11,8 @@ Usage::
     python -m repro trace run.jsonl --validate
     python -m repro dashboard run.jsonl --out dashboard.html
     python -m repro faults validate chaos.json --num-replicas 4
+    python -m repro serve --port 8080 --speed 10
+    python -m repro serve --replay azure.csv --summary-out run.json
 
 ``--trace-out`` records every engine built during the run through the
 :mod:`repro.obs` subsystem (iteration-level JSONL events);
@@ -23,11 +25,24 @@ trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 crashes / slowdowns) and installs it as the process default, so
 fault-aware experiments inject it; ``faults validate`` lints a plan
 file and reports every problem with a clean message.
+
+``serve`` starts the :mod:`repro.serve` online gateway: a stdlib HTTP
+front end (``POST /v1/completions`` with SSE streaming, ``/metrics``,
+``/healthz``) over a simulated deployment, paced against the wall
+clock by ``--speed`` (``inf`` = deterministic as-fast-as-possible).
+``--replay`` drives it open-loop from an Azure-format trace CSV; with
+no ``--port`` and ``--speed inf`` the replay is a pure offline
+simulation whose summary is byte-identical to the batch path.
+
+Multi-word flags are spelled with dashes (``--trace-out``); the
+legacy underscore spellings (``--trace_out``) still parse but are
+hidden from ``--help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from pathlib import Path
@@ -108,11 +123,62 @@ def _registry() -> dict[str, tuple[str, Callable[[Scale], list]]]:
     }
 
 
+def _hidden_alias(parser, *flags, **kwargs) -> None:
+    """Register a legacy flag spelling: parsed, absent from ``--help``.
+
+    ``default=SUPPRESS`` keeps the alias from fighting the canonical
+    action over their shared dest's default value.
+    """
+    parser.add_argument(
+        *flags, help=argparse.SUPPRESS, default=argparse.SUPPRESS,
+        **kwargs,
+    )
+
+
+def _parse_speed(text: str) -> float:
+    """``--speed`` values: a positive float, or ``inf`` (no pacing)."""
+    lowered = text.strip().lower()
+    if lowered in {"inf", "infinity"}:
+        return math.inf
+    try:
+        value = float(lowered)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid speed {text!r} (a number, or 'inf')"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError("speed must be > 0")
+    return value
+
+
+def _observability_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace-out`` / ``--metrics-out`` flags.
+
+    ``run`` and ``serve`` record through the same observer plumbing,
+    so the flags are defined once and inherited via ``parents=``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record an iteration-level JSONL trace of every "
+             "simulated engine to FILE",
+    )
+    _hidden_alias(parent, "--trace_out", type=Path, metavar="FILE")
+    parent.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write aggregated metrics in Prometheus text format "
+             "to FILE after the run",
+    )
+    _hidden_alias(parent, "--metrics_out", type=Path, metavar="FILE")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="QoServe reproduction experiment runner",
     )
+    observability = _observability_parent()
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     report_parser = sub.add_parser(
@@ -124,7 +190,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--out", type=Path, default=Path("reproduction_report.md"),
     )
-    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser = sub.add_parser(
+        "run", help="run experiments", parents=[observability]
+    )
     run_parser.add_argument(
         "experiments", nargs="+",
         help="experiment names (see 'list') or 'all'",
@@ -146,21 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-y", action="store_true",
         help="log-scale the --plot y axis",
     )
-    run_parser.add_argument(
-        "--trace-out", type=Path, default=None, metavar="FILE",
-        help="record an iteration-level JSONL trace of every "
-             "simulated engine to FILE",
-    )
-    run_parser.add_argument(
-        "--metrics-out", type=Path, default=None, metavar="FILE",
-        help="write aggregated metrics in Prometheus text format "
-             "to FILE after the run",
-    )
+    _hidden_alias(run_parser, "--log_y", action="store_true")
     run_parser.add_argument(
         "--fault-plan", type=Path, default=None, metavar="FILE",
         help="JSON fault schedule (see docs/RESILIENCE.md) injected "
              "into fault-aware experiments",
     )
+    _hidden_alias(run_parser, "--fault_plan", type=Path, metavar="FILE")
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for experiment grid fan-out "
@@ -172,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk-backed run cache for experiment cells (default: "
              "disabled; see docs/PERFORMANCE.md for invalidation)",
     )
+    _hidden_alias(run_parser, "--cache_dir", type=Path, metavar="DIR")
     bench_parser = sub.add_parser(
         "bench", help="perf-trajectory benchmark harness"
     )
@@ -207,6 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="also range-check replica indices against a deployment "
              "of N replicas",
     )
+    _hidden_alias(validate_parser, "--num_replicas", type=int,
+                  metavar="N")
     trace_parser = sub.add_parser(
         "trace", help="inspect / convert a recorded JSONL trace"
     )
@@ -249,11 +312,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed violation fraction per window (default: 0.01, "
              "the paper's 1%% goodput bar)",
     )
+    _hidden_alias(dashboard_parser, "--slo_budget", type=float,
+                  metavar="FRACTION")
     dashboard_parser.add_argument(
         "--no-validate", action="store_true",
         help="skip schema validation of the trace (validation is on "
              "by default; invalid events are a non-zero exit)",
     )
+    _hidden_alias(dashboard_parser, "--no_validate",
+                  action="store_true")
+    serve_parser = sub.add_parser(
+        "serve",
+        help="online serving gateway (repro.serve)",
+        parents=[observability],
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="HTTP listen address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="serve the HTTP API on PORT (0 = OS-assigned; omit for "
+             "a pure offline --replay)",
+    )
+    serve_parser.add_argument(
+        "--deployment", default="llama3-8b", metavar="NAME",
+        help="execution-model preset (default: llama3-8b)",
+    )
+    serve_parser.add_argument(
+        "--scheduler", default="qoserve", metavar="KIND",
+        help="scheduler kind (default: qoserve; see "
+             "repro.api.SCHEDULER_KINDS)",
+    )
+    serve_parser.add_argument(
+        "--num-replicas", type=int, default=1, metavar="N",
+        help="replica count (default: 1)",
+    )
+    _hidden_alias(serve_parser, "--num_replicas", type=int, metavar="N")
+    serve_parser.add_argument(
+        "--chunk-size", type=int, default=256, metavar="TOKENS",
+        help="prefill chunk size (default: 256)",
+    )
+    _hidden_alias(serve_parser, "--chunk_size", type=int,
+                  metavar="TOKENS")
+    serve_parser.add_argument(
+        "--routing", default="round-robin", metavar="STRATEGY",
+        help="multi-replica routing strategy (default: round-robin)",
+    )
+    serve_parser.add_argument(
+        "--speed", type=_parse_speed, default=math.inf, metavar="FACTOR",
+        help="virtual seconds simulated per wall second; 'inf' (the "
+             "default) disables pacing entirely",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="global token-bucket admission rate in requests per "
+             "virtual second (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--tier-rate", action="append", default=None, metavar="TIER=QPS",
+        help="per-tier admission-rate override (repeatable, e.g. "
+             "--tier-rate Q3=2)",
+    )
+    _hidden_alias(serve_parser, "--tier_rate", action="append",
+                  metavar="TIER=QPS")
+    serve_parser.add_argument(
+        "--burst", type=float, default=8.0, metavar="N",
+        help="token-bucket burst capacity (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="backpressure threshold: above this many queued requests "
+             "the relegation victim ordering picks what to shed "
+             "(default: unlimited)",
+    )
+    _hidden_alias(serve_parser, "--max_queue_depth", type=int,
+                  metavar="N")
+    serve_parser.add_argument(
+        "--replay", type=Path, default=None, metavar="CSV",
+        help="drive the gateway open-loop from an Azure-format trace "
+             "CSV (TIMESTAMP / ContextTokens / GeneratedTokens)",
+    )
+    serve_parser.add_argument(
+        "--replay-qps", type=float, default=None, metavar="QPS",
+        help="rescale --replay arrival gaps to this mean rate",
+    )
+    _hidden_alias(serve_parser, "--replay_qps", type=float,
+                  metavar="QPS")
+    serve_parser.add_argument(
+        "--replay-limit", type=int, default=None, metavar="N",
+        help="offer only the first N --replay arrivals",
+    )
+    _hidden_alias(serve_parser, "--replay_limit", type=int,
+                  metavar="N")
+    serve_parser.add_argument(
+        "--summary-out", type=Path, default=None, metavar="FILE",
+        help="write the final gateway counters and run summary as "
+             "JSON to FILE",
+    )
+    _hidden_alias(serve_parser, "--summary_out", type=Path,
+                  metavar="FILE")
     return parser
 
 
@@ -301,6 +459,9 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _bench_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -391,12 +552,192 @@ def _path_error(context: str, error: Exception) -> int:
     """Uniform exit for an unreadable or unwritable user-supplied path.
 
     Every CLI flag that touches the filesystem (``--trace-out``,
-    ``--metrics-out``, ``--fault-plan``, ``trace`` / ``faults``
-    inputs) funnels OS errors through here so the message shape is
-    identical: ``cannot <action>: <os error>``.
+    ``--metrics-out``, ``--fault-plan``, ``--replay``,
+    ``--summary-out``, ``trace`` / ``faults`` inputs) funnels OS
+    errors through here so the message shape is identical:
+    ``cannot <action>: <os error>``.
     """
     print(f"cannot {context}: {error}", file=sys.stderr)
     return 1
+
+
+def _serve_command(args) -> int:
+    """Implement ``repro serve``: the online gateway front end."""
+    if args.port is None and args.replay is None:
+        print("serve needs --port (HTTP API), --replay (trace-driven), "
+              "or both", file=sys.stderr)
+        return 2
+
+    tier_rates: dict[str, float] = {}
+    for item in args.tier_rate or []:
+        name, sep, value = item.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            tier_rates[name] = float(value)
+        except ValueError:
+            print(f"--tier-rate expects TIER=QPS, got {item!r}",
+                  file=sys.stderr)
+            return 2
+
+    from repro.api import ServeConfig, Session
+    from repro.serve import AdmissionConfig, GatewayConfig, ServeGateway
+
+    trace = None
+    if args.replay is not None:
+        from repro.workload import load_azure_trace
+
+        try:
+            trace = load_azure_trace(
+                args.replay,
+                target_qps=args.replay_qps,
+                max_requests=args.replay_limit,
+            )
+        except OSError as error:
+            return _path_error("read --replay", error)
+        except ValueError as error:
+            print(f"invalid replay trace {args.replay}: {error}",
+                  file=sys.stderr)
+            return 1
+
+    try:
+        observer = _install_observer(args)
+    except OSError as error:
+        return _path_error("open --trace-out", error)
+
+    exit_code = 0
+    try:
+        try:
+            session = Session(ServeConfig(
+                deployment=args.deployment,
+                scheduler=args.scheduler,
+                chunk_size=args.chunk_size,
+                num_replicas=args.num_replicas,
+                routing=args.routing,
+            ))
+            gateway = ServeGateway(session, config=GatewayConfig(
+                speed=args.speed,
+                admission=AdmissionConfig(
+                    rate=args.rate,
+                    burst=args.burst,
+                    max_queue_depth=args.max_queue_depth,
+                    per_tier_rate=tier_rates,
+                ),
+            ))
+        except (KeyError, ValueError) as error:
+            # ServeConfig / deployment-lookup messages are already
+            # user-facing.
+            print(error.args[0] if error.args else error,
+                  file=sys.stderr)
+            return 2
+
+        if args.port is None and not gateway.clock.is_realtime:
+            summary = gateway.replay(trace)
+            exit_code = _serve_epilogue(gateway, summary, args)
+        else:
+            exit_code = _serve_online(gateway, trace, args)
+    finally:
+        try:
+            _teardown_observer(observer, args)
+        except OSError as error:
+            exit_code = _path_error("write observability output", error)
+    return exit_code
+
+
+def _serve_online(gateway, trace, args) -> int:
+    """Run the asyncio gateway: HTTP front end and/or paced replay."""
+    import signal
+    import threading
+
+    from repro.serve import GatewayHTTPServer, GatewayRuntime
+
+    runtime = GatewayRuntime(gateway)
+    runtime.start()
+    server = None
+    try:
+        if args.port is not None:
+            try:
+                server = GatewayHTTPServer(
+                    (args.host, args.port), runtime
+                )
+            except OSError as error:
+                return _path_error(
+                    f"bind {args.host}:{args.port}", error
+                )
+            server.start_background()
+            print(f"serving on http://{args.host}:{server.port}",
+                  flush=True)
+
+        stop = threading.Event()
+        previous = {}
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(
+                    signum, lambda *_: stop.set()
+                )
+        except ValueError:
+            pass  # not the main thread (in-process tests); no signals
+        try:
+            if trace is not None:
+                from repro.workload import OpenLoopReplay, wait_drained
+
+                report = runtime.call(
+                    OpenLoopReplay(trace).drive(gateway)
+                )
+                runtime.call(wait_drained(gateway))
+                print(f"replay complete: {report.offered} offered, "
+                      f"{report.admitted} admitted, "
+                      f"{report.shed} shed")
+            else:
+                stop.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    finally:
+        if server is not None:
+            server.stop()
+        runtime.stop()
+    summary = (
+        gateway.session.summary(requests=gateway.offered)
+        if gateway.offered else None
+    )
+    code = _serve_epilogue(gateway, summary, args)
+    print("gateway shut down cleanly")
+    return code
+
+
+def _serve_epilogue(gateway, summary, args) -> int:
+    """Print final gateway counters; honour ``--summary-out``."""
+    import json
+
+    stats = gateway.stats
+    print(f"gateway: admitted={stats.admitted_total} "
+          f"shed={stats.shed_total} "
+          f"tokens_streamed={stats.tokens_streamed_total}")
+    if summary is not None:
+        print(f"summary: {summary.finished}/{summary.num_requests} "
+              f"finished, {summary.violations.overall_pct:.1f}% "
+              "violations")
+    if args.summary_out is not None:
+        from repro.metrics import summary_to_dict
+
+        payload = {
+            "gateway": stats.to_dict(),
+            "summary": (
+                summary_to_dict(summary) if summary is not None
+                else None
+            ),
+        }
+        try:
+            args.summary_out.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as error:
+            return _path_error("write --summary-out", error)
+        print(f"summary written to {args.summary_out}")
+    return 0
 
 
 def _bench_command(args) -> int:

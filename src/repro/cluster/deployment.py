@@ -24,6 +24,18 @@ from repro.workload.trace import Trace
 
 SchedulerFactory = Callable[[], Scheduler]
 
+
+def _chain(existing, hook):
+    """Compose per-replica callbacks without displacing earlier ones."""
+    if existing is None:
+        return hook
+
+    def chained(request, now):
+        existing(request, now)
+        hook(request, now)
+
+    return chained
+
 #: Routing strategies for :class:`ClusterDeployment`.  The paper's
 #: deployments use round-robin ("Both deployments use round-robin load
 #: balancing across replicas"); least-loaded and power-of-two-choices
@@ -44,6 +56,7 @@ class ClusterDeployment:
         replica_config: ReplicaConfig | None = None,
         simulator: Simulator | None = None,
         routing: str = "round-robin",
+        observer=None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -62,6 +75,7 @@ class ClusterDeployment:
                 scheduler_factory(),
                 replica_config or ReplicaConfig(),
                 replica_id=i,
+                observer=observer,
             )
             for i in range(num_replicas)
         ]
@@ -147,6 +161,41 @@ class ClusterDeployment:
             max(request.arrival_time, self.simulator.now),
             lambda: self._pick_replica().submit_now(request),
         )
+
+    def submit_now(self, request: Request) -> ReplicaEngine:
+        """Inject a request immediately (online gateway path).
+
+        Routing is decided at the current simulated time — queue
+        depths are live — and the chosen replica is returned so the
+        caller can later cancel or stream against it.
+        """
+        self._submitted.append(request)
+        replica = self._pick_replica()
+        replica.submit_now(request)
+        return replica
+
+    def set_completion_hook(
+        self, hook: Callable[[Request, float], None]
+    ) -> None:
+        """Fire ``hook(request, now)`` on every replica's completions.
+
+        Chains after any hook already installed (e.g. the resilient
+        cluster's watchdog disarm) rather than displacing it.
+        """
+        for replica in self.replicas:
+            replica.completion_hook = _chain(replica.completion_hook, hook)
+
+    def set_token_hook(
+        self, hook: Callable[[Request, float], None]
+    ) -> None:
+        """Fire ``hook(request, now)`` for every output token emitted
+        by any replica (streaming delivery)."""
+        for replica in self.replicas:
+            replica.token_hook = _chain(replica.token_hook, hook)
+
+    def next_event_time(self) -> float | None:
+        """When the shared simulator fires next (None when idle)."""
+        return self.simulator.next_event_time()
 
     def submit_trace(self, trace: Trace) -> None:
         for request in trace:

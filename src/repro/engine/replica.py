@@ -135,6 +135,10 @@ class ReplicaEngine:
         #: Optional ``(request, now)`` callback fired on completion;
         #: the resilient cluster uses it to disarm deadline watchdogs.
         self.completion_hook: Callable[[Request, float], None] | None = None
+        #: Optional ``(request, now)`` callback fired once per output
+        #: token; the serving gateway uses it to stream tokens to
+        #: clients.  Must never mutate engine state.
+        self.token_hook: Callable[[Request, float], None] | None = None
         # Requests whose prefill has started but not finished; counts
         # against decode slots so admission cannot overshoot.
         self._inflight_prefills: set[int] = set()
@@ -425,6 +429,8 @@ class ReplicaEngine:
                 continue  # evicted while this iteration was in flight
             request.record_output_token(now)
             self._decode_context_total += 1
+            if self.token_hook is not None:
+                self.token_hook(request, now)
             if request.is_finished:
                 self._complete(request, now)
 
@@ -456,6 +462,8 @@ class ReplicaEngine:
         if request.decoded == 0:
             # The final prefill chunk yields output token 1 (Sec. 2.1).
             request.record_output_token(now)
+            if self.token_hook is not None:
+                self.token_hook(request, now)
         if request.is_finished:
             self._complete(request, now)
         else:
@@ -613,3 +621,18 @@ class ReplicaEngine:
         """Run the simulator until all submitted work completes."""
         self.simulator.run(max_events=max_events)
         return self.simulator.now
+
+    def advance(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> float:
+        """Process events incrementally, up to virtual time ``until``.
+
+        The online gateway's step API: unlike
+        :meth:`run_until_drained`, the engine stays mid-flight and more
+        requests may be injected (:meth:`submit_now`) between calls.
+        """
+        return self.simulator.run(until=until, max_events=max_events)
+
+    def next_event_time(self) -> float | None:
+        """When this replica's simulator fires next (None if idle)."""
+        return self.simulator.next_event_time()

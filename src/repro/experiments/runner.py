@@ -1,86 +1,45 @@
-"""Shared execution helpers for the experiment drivers."""
+"""Shared execution helpers for the experiment drivers.
+
+These are thin delegating wrappers: the canonical implementations
+moved to :mod:`repro.api` (the unified public surface), and the
+wrappers here keep every existing experiment byte-identical.  New code
+should call :mod:`repro.api` directly.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.api import (
+    SCHEDULER_KINDS,
+    ServeConfig,
+    Session,
+    build_trace,
+    default_tier_names,
+    engine_scheduler_stats,
+    make_scheduler,
+)
 from repro.cluster.capacity import CapacityResult, find_max_goodput
-from repro.core.qos import DEFAULT_TIERS
 from repro.engine.interface import Scheduler
-from repro.engine.replica import ReplicaConfig, ReplicaEngine
-from repro.metrics.summary import RunSummary, summarize_run
-from repro.obs.metrics import DEFAULT_CHUNK_BUCKETS, bucket_counts
+from repro.engine.replica import ReplicaEngine
+from repro.metrics.summary import RunSummary
 from repro.obs.observer import Observer
 from repro.perfmodel.execution import ExecutionModel
-from repro.schedulers import (
-    ConServeScheduler,
-    EDFScheduler,
-    FCFSScheduler,
-    MedhaScheduler,
-    QoServeConfig,
-    QoServeScheduler,
-    SJFScheduler,
-    SRPFScheduler,
-)
-from repro.simcore.simulator import Simulator
-from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.schedulers import QoServeConfig
 from repro.workload.datasets import DatasetSpec
-from repro.workload.tiers import TierAssigner, TierMix
-from repro.workload.trace import Trace, TraceBuilder
+from repro.workload.tiers import TierMix
+from repro.workload.trace import Trace
 
-#: Scheduler identifiers accepted by :func:`make_scheduler`.  The
-#: "sarathi-" prefix used in the paper's figures maps to the bare
-#: policies: every baseline here runs on the chunked Sarathi engine.
-SCHEDULER_KINDS = (
-    "fcfs",
-    "sjf",
-    "srpf",
-    "edf",
-    "qoserve",
-    "qoserve-oracle",
-    "medha",
-    "conserve",
-)
-
-
-def make_scheduler(
-    kind: str,
-    execution_model: ExecutionModel,
-    chunk_size: int = 256,
-    qoserve_config: QoServeConfig | None = None,
-    **kwargs,
-) -> Scheduler:
-    """Instantiate a scheduler by name.
-
-    Args:
-        kind: One of :data:`SCHEDULER_KINDS` (case-insensitive,
-            "sarathi-" prefix tolerated).
-        execution_model: Needed by predictor-backed schedulers.
-        chunk_size: Fixed token budget for the Sarathi baselines.
-        qoserve_config: Overrides the default QoServe configuration.
-        **kwargs: Forwarded to the scheduler constructor.
-    """
-    key = kind.lower().removeprefix("sarathi-")
-    if key == "fcfs":
-        return FCFSScheduler(chunk_size=chunk_size, **kwargs)
-    if key == "sjf":
-        return SJFScheduler(chunk_size=chunk_size, **kwargs)
-    if key == "srpf":
-        return SRPFScheduler(chunk_size=chunk_size, **kwargs)
-    if key == "edf":
-        return EDFScheduler(chunk_size=chunk_size, **kwargs)
-    if key == "qoserve":
-        return QoServeScheduler(
-            execution_model, qoserve_config or QoServeConfig(), **kwargs
-        )
-    if key == "qoserve-oracle":
-        config = qoserve_config or QoServeConfig(use_forest_predictor=False)
-        return QoServeScheduler(execution_model, config, **kwargs)
-    if key == "medha":
-        return MedhaScheduler(execution_model, **kwargs)
-    if key == "conserve":
-        return ConServeScheduler(**kwargs)
-    raise KeyError(f"unknown scheduler kind {kind!r}")
+__all__ = [
+    "SCHEDULER_KINDS",
+    "make_scheduler",
+    "scheduler_factory",
+    "build_trace",
+    "run_replica_trace",
+    "engine_scheduler_stats",
+    "goodput_search",
+    "default_tier_names",
+]
 
 
 def scheduler_factory(
@@ -88,28 +47,6 @@ def scheduler_factory(
 ) -> Callable[[], Scheduler]:
     """A zero-argument factory for deployments needing one per replica."""
     return lambda: make_scheduler(kind, execution_model, **kwargs)
-
-
-def build_trace(
-    dataset: DatasetSpec,
-    qps: float,
-    num_requests: int,
-    seed: int = 42,
-    mix: TierMix | None = None,
-    low_priority_fraction: float = 0.0,
-    arrivals: ArrivalProcess | None = None,
-) -> Trace:
-    """Standard trace construction used across experiments."""
-    assigner = TierAssigner(
-        mix=mix or TierMix.equal_thirds(),
-        low_priority_fraction=low_priority_fraction,
-    )
-    return TraceBuilder(
-        dataset,
-        arrivals=arrivals or PoissonArrivals(qps),
-        tier_assigner=assigner,
-        seed=seed,
-    ).build(num_requests)
 
 
 def run_replica_trace(
@@ -135,69 +72,26 @@ def run_replica_trace(
     ``summary.attribution``.  The audit collector chains with — never
     displaces — whatever observer is in effect, and the summary's
     serialized form is unchanged (attribution is not exported).
+
+    Delegates to :class:`repro.api.Session`; outputs are byte-identical
+    to the pre-facade implementation.
     """
-    from repro.obs.observer import get_default_observer
-
-    audit_sink = None
-    if audit:
-        from repro.obs.observer import MultiObserver, TracingObserver
-        from repro.obs.trace import ListSink, TraceRecorder
-
-        audit_sink = ListSink()
-        collector = TracingObserver(TraceRecorder([audit_sink]))
-        effective = observer if observer is not None else (
-            get_default_observer()
-        )
-        observer = MultiObserver([collector, effective])
-
-    simulator = Simulator()
-    engine = ReplicaEngine(
-        simulator,
-        execution_model,
-        scheduler,
-        ReplicaConfig(record_iterations=record_iterations),
+    session = Session(
+        ServeConfig(
+            record_iterations=record_iterations,
+            audit=audit,
+            max_events=max_events,
+        ),
+        execution_model=execution_model,
+        scheduler=scheduler,
         observer=observer,
     )
     for request in trace:
-        engine.submit(request)
-    simulator.run(max_events=max_events)
-    summary = summarize_run(engine.submitted, now=simulator.now)
-    if len(trace) > 0:
-        last_arrival = max(r.arrival_time for r in trace)
-        first_arrival = min(r.arrival_time for r in trace)
-        summary.drain_time = simulator.now - last_arrival
-        summary.arrival_span = last_arrival - first_arrival
-    summary.scheduler_stats = engine_scheduler_stats(engine)
-    if audit_sink is not None:
-        from repro.obs.audit import audit_events
-
-        summary.attribution = audit_events(audit_sink.events)
-    return summary, engine
-
-
-def engine_scheduler_stats(engine: ReplicaEngine) -> dict:
-    """Flatten the engine's always-on decision counters for export.
-
-    These come from plain integer counters kept by the engine itself
-    (not the optional :mod:`repro.obs` observer), so they are available
-    — and identical — whether or not tracing is enabled.
-    """
-    relegations_by_tier: dict[str, int] = {}
-    for request in engine.submitted:
-        if request.relegated:
-            tier = request.qos.name
-            relegations_by_tier[tier] = relegations_by_tier.get(tier, 0) + 1
-    return {
-        "relegations_by_tier": dict(sorted(relegations_by_tier.items())),
-        "relegations_total": sum(relegations_by_tier.values()),
-        "preemptions": engine.stall_preemptions,
-        "decode_evictions": engine.decode_evictions,
-        "kv_high_water_utilization": engine.kv_cache.high_water_utilization,
-        "chunk_size_histogram": bucket_counts(
-            engine.chunk_tokens_hist, DEFAULT_CHUNK_BUCKETS
-        ),
-        "iterations": engine.iterations_run,
-    }
+        session.submit(request)
+    session.advance(max_events=max_events)
+    engine = session.engine
+    assert engine is not None
+    return session.summary(requests=list(trace)), engine
 
 
 def goodput_search(
@@ -250,8 +144,3 @@ def goodput_search(
     return find_max_goodput(
         evaluate, qps_high=qps_high, tolerance=tolerance
     )
-
-
-def default_tier_names() -> tuple[str, ...]:
-    """Names of the Table 3 tiers, in order."""
-    return tuple(t.name for t in DEFAULT_TIERS)

@@ -48,6 +48,8 @@ from repro.obs.events import (
     TRACE_SCHEMA_VERSION,
     ChunkSized,
     DecodeEvicted,
+    GatewayAdmitted,
+    GatewayShed,
     IterationScheduled,
     KVCacheSnapshot,
     Preempted,
@@ -112,6 +114,8 @@ __all__ = [
     "RelegationServed",
     "ChunkSized",
     "DecodeEvicted",
+    "GatewayAdmitted",
+    "GatewayShed",
     "IterationScheduled",
     "KVCacheSnapshot",
     "Preempted",

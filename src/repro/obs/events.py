@@ -34,7 +34,10 @@ from typing import Any, ClassVar
 #:   latency attribution) and the ``relegation_served`` kind.  All
 #:   additions are defaulted, and :func:`validate_event` only requires
 #:   fields without defaults, so v1 traces remain valid.
-TRACE_SCHEMA_VERSION = 2
+#: * **3** — the ``gateway_admitted`` and ``gateway_shed`` kinds
+#:   (online serving gateway admission decisions).  New kinds only;
+#:   every v1/v2 trace remains valid.
+TRACE_SCHEMA_VERSION = 3
 
 
 class TraceSchemaError(ValueError):
@@ -262,6 +265,36 @@ class RequestCancelled(TraceEvent):
     waited: float
 
 
+@dataclass(frozen=True)
+class GatewayAdmitted(TraceEvent):
+    """The online gateway accepted an arrival into a replica."""
+
+    kind: ClassVar[str] = "gateway_admitted"
+
+    request_id: int
+    tier: str
+    important: bool
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class GatewayShed(TraceEvent):
+    """The online gateway refused or evicted a request.
+
+    ``reason`` is ``"rate_limit"`` (per-tier token bucket empty) or
+    ``"backpressure"`` (queue depth cap; the victim follows the
+    relegation demotable ordering).
+    """
+
+    kind: ClassVar[str] = "gateway_shed"
+
+    request_id: int
+    tier: str
+    important: bool
+    reason: str
+    queue_depth: int
+
+
 #: kind -> event class, the closed registry of trace event types.
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -280,6 +313,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestRetried,
         RequestShed,
         RequestCancelled,
+        GatewayAdmitted,
+        GatewayShed,
     )
 }
 

@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from repro.obs.events import (
     ChunkSized,
     DecodeEvicted,
+    GatewayAdmitted,
+    GatewayShed,
     IterationScheduled,
     KVCacheSnapshot,
     Preempted,
@@ -181,6 +183,26 @@ class Observer:
         replica (e.g. cancelled while awaiting re-dispatch).
         """
 
+    # --- gateway hooks (repro.serve) --------------------------------------
+
+    def on_gateway_admitted(
+        self, request: "Request", now: float, queue_depth: int
+    ) -> None:
+        """The online gateway accepted ``request`` into a replica."""
+
+    def on_gateway_shed(
+        self,
+        request: "Request",
+        now: float,
+        reason: str,
+        queue_depth: int,
+    ) -> None:
+        """The gateway refused or evicted ``request`` (``reason`` is
+        ``"rate_limit"`` or ``"backpressure"``)."""
+
+    def on_token_streamed(self, request: "Request", now: float) -> None:
+        """One output token was delivered to a streaming consumer."""
+
 
 #: Shared no-op instance — the default everywhere an observer plugs in.
 NULL_OBSERVER = Observer()
@@ -303,6 +325,19 @@ class TracingObserver(Observer):
         self._events_dropped = reg.counter(
             "repro_trace_events_dropped_total",
             "Trace events shed by bounded-memory ring sinks",
+        )
+        self._gateway_admitted = reg.counter(
+            "repro_gateway_admitted_total",
+            "Requests admitted by the serving gateway", ("tier",),
+        )
+        self._gateway_shed = reg.counter(
+            "repro_gateway_shed_total",
+            "Requests refused or evicted by the serving gateway",
+            ("tier", "reason"),
+        )
+        self._gateway_tokens_streamed = reg.counter(
+            "repro_gateway_tokens_streamed_total",
+            "Output tokens delivered to streaming consumers", ("tier",),
         )
         # Per-tier latency sketches: mergeable percentiles replacing
         # fixed-bucket histograms for the three governing latencies.
@@ -540,6 +575,32 @@ class TracingObserver(Observer):
             waited=now - request.arrival_time,
         ))
         self._cancellations.labels(request.qos.name, reason).inc()
+
+    # --- gateway hooks ----------------------------------------------------
+
+    def on_gateway_admitted(self, request, now, queue_depth) -> None:
+        self.recorder.emit(GatewayAdmitted(
+            ts=now,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            important=request.important,
+            queue_depth=queue_depth,
+        ))
+        self._gateway_admitted.labels(request.qos.name).inc()
+
+    def on_gateway_shed(self, request, now, reason, queue_depth) -> None:
+        self.recorder.emit(GatewayShed(
+            ts=now,
+            request_id=request.request_id,
+            tier=request.qos.name,
+            important=request.important,
+            reason=reason,
+            queue_depth=queue_depth,
+        ))
+        self._gateway_shed.labels(request.qos.name, reason).inc()
+
+    def on_token_streamed(self, request, now) -> None:
+        self._gateway_tokens_streamed.labels(request.qos.name).inc()
 
     def close(self) -> None:
         self.recorder.close()

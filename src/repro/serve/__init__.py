@@ -1,0 +1,50 @@
+"""The online serving gateway (see ``docs/SERVING.md``).
+
+Turns the batch-oriented simulator into a continuously-serving system:
+
+* :mod:`repro.serve.clock` — the virtual↔wall clock bridge (a
+  ``--speed`` factor; ``inf`` = deterministic as-fast-as-possible);
+* :mod:`repro.serve.admission` — per-tier token-bucket rate limiting
+  and queue-depth backpressure reusing the relegation victim ordering;
+* :mod:`repro.serve.gateway` — the asyncio gateway: OpenAI-style
+  ``submit``/``stream`` calls over a :class:`repro.api.Session`;
+* :mod:`repro.serve.http` — a stdlib ``http.server`` JSON endpoint
+  with SSE token streaming, ``/metrics`` and ``/healthz``.
+"""
+
+from repro.serve.admission import (
+    REASON_BACKPRESSURE,
+    REASON_RATE_LIMIT,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+    pick_shed_victim,
+)
+from repro.serve.clock import VirtualClock
+from repro.serve.gateway import (
+    AdmissionRefused,
+    GatewayConfig,
+    GatewayStats,
+    ServeGateway,
+    TokenEvent,
+)
+from repro.serve.http import GatewayHTTPServer, GatewayRuntime
+
+__all__ = [
+    "REASON_BACKPRESSURE",
+    "REASON_RATE_LIMIT",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRefused",
+    "GatewayConfig",
+    "GatewayHTTPServer",
+    "GatewayRuntime",
+    "GatewayStats",
+    "ServeGateway",
+    "TokenBucket",
+    "TokenEvent",
+    "VirtualClock",
+    "pick_shed_victim",
+]

@@ -1,0 +1,168 @@
+"""Gateway admission control: rate limits and backpressure shedding.
+
+Two deterministic mechanisms, both evaluated on the *virtual* clock so
+a ``--speed inf`` replay sheds exactly the same requests as a paced
+one:
+
+* **Token buckets** — one per QoS tier, refilled at ``rate`` requests
+  per virtual second up to ``burst``.  An arrival that finds its
+  bucket empty is refused at the door (``rate_limit``).
+* **Queue-depth backpressure** — when the cluster-wide prefill backlog
+  reaches ``max_queue_depth``, something must give.  The victim is
+  chosen by the *relegation demotable ordering* from
+  :class:`repro.core.relegation.RelegationPolicy`: free-tier
+  (non-``important``) requests only, largest remaining prefill service
+  first, ties to the smallest request id.  The arriving request is
+  itself a candidate — if it is the preferred victim (or no free-tier
+  work is queued) it is refused instead (``backpressure``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.relegation import ViolationChecker
+from repro.core.request import Request
+
+REASON_RATE_LIMIT = "rate_limit"
+REASON_BACKPRESSURE = "backpressure"
+
+
+class TokenBucket:
+    """A deterministic token bucket on the virtual clock."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def try_take(self, now: float) -> bool:
+        """Take one token at virtual time ``now``; False when empty."""
+        if now > self._last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True, kw_only=True)
+class AdmissionConfig:
+    """Gateway admission knobs.
+
+    Attributes:
+        rate: Default per-tier token-bucket refill in requests per
+            virtual second; ``None`` disables rate limiting.
+        burst: Bucket capacity (initial credit), in requests.
+        max_queue_depth: Cluster-wide prefill-backlog cap; ``None``
+            disables backpressure.
+        per_tier_rate: Per-tier overrides of ``rate`` (a tier mapped to
+            a rate here is limited even when ``rate`` is ``None``).
+    """
+
+    rate: float | None = None
+    burst: float = 8.0
+    max_queue_depth: int | None = None
+    per_tier_rate: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be > 0 or None")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``victim`` is an already-queued request to evict in favour of the
+    arrival (backpressure chose it over the newcomer).
+    """
+
+    admitted: bool
+    reason: str | None = None
+    victim: Request | None = None
+
+
+def pick_shed_victim(
+    candidates: Iterable[Request], checker: ViolationChecker
+) -> Request | None:
+    """Choose a backpressure victim by the relegation demotable order.
+
+    Mirrors the max-heap in
+    :meth:`repro.core.relegation.RelegationPolicy.plan` — keyed
+    ``(-prefill_service, request_id)`` over free-tier requests — so the
+    gateway sheds exactly the work relegation would have demoted first:
+    the largest remaining prefill, ties to the smallest request id.
+    Returns ``None`` when every candidate is important.
+    """
+    pool = [r for r in candidates if not r.important]
+    if not pool:
+        return None
+    return min(
+        pool,
+        key=lambda r: (-checker.prefill_service_time(r), r.request_id),
+    )
+
+
+class AdmissionController:
+    """Stateful admission: per-tier buckets plus backpressure."""
+
+    def __init__(
+        self, config: AdmissionConfig, checker: ViolationChecker
+    ) -> None:
+        self.config = config
+        self.checker = checker
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def _bucket(self, tier: str) -> TokenBucket | None:
+        rate = self.config.per_tier_rate.get(tier, self.config.rate)
+        if rate is None:
+            return None
+        bucket = self._buckets.get(tier)
+        if bucket is None:
+            bucket = self._buckets[tier] = TokenBucket(
+                rate, self.config.burst
+            )
+        return bucket
+
+    def decide(
+        self,
+        request: Request,
+        now: float,
+        *,
+        queue_depth: int,
+        pending: Iterable[Request],
+    ) -> AdmissionDecision:
+        """Admission verdict for ``request`` arriving at ``now``.
+
+        ``queue_depth`` is the cluster-wide prefill backlog and
+        ``pending`` the queued-but-unstarted requests backpressure may
+        shed instead of the arrival.
+        """
+        bucket = self._bucket(request.qos.name)
+        if bucket is not None and not bucket.try_take(now):
+            return AdmissionDecision(False, REASON_RATE_LIMIT)
+        cap = self.config.max_queue_depth
+        if cap is not None and queue_depth >= cap:
+            victim = pick_shed_victim(
+                list(pending) + [request], self.checker
+            )
+            if victim is None or victim is request:
+                return AdmissionDecision(False, REASON_BACKPRESSURE)
+            return AdmissionDecision(
+                True, REASON_BACKPRESSURE, victim=victim
+            )
+        return AdmissionDecision(True)

@@ -1,0 +1,69 @@
+"""The virtual↔wall clock bridge for online serving.
+
+The simulator runs on a virtual clock; a live gateway runs on the wall
+clock.  :class:`VirtualClock` maps between them with a *speed* factor:
+``speed=1`` replays in real time, ``speed=10`` ten times faster, and
+``speed=inf`` removes wall pacing entirely — the gateway drains events
+as fast as the host allows, which is exactly the batch simulator's
+semantics (and why ``--speed inf`` replay is byte-identical to it).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+
+class VirtualClock:
+    """Maps wall time to simulated time via a speed factor.
+
+    Args:
+        speed: Virtual seconds per wall second (> 0, or ``inf`` for
+            as-fast-as-possible).
+        timer: Wall-clock source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        speed: float = math.inf,
+        *,
+        timer: Callable[[], float] = time.monotonic,
+    ) -> None:
+        speed = float(speed)
+        if not speed > 0:
+            raise ValueError(f"speed must be > 0 (or inf), got {speed}")
+        self.speed = speed
+        self._timer = timer
+        self._wall0: float | None = None
+        self._virtual0 = 0.0
+
+    @property
+    def is_realtime(self) -> bool:
+        """True when wall pacing applies (finite speed)."""
+        return math.isfinite(self.speed)
+
+    @property
+    def started(self) -> bool:
+        return self._wall0 is not None
+
+    def start(self, virtual_now: float = 0.0) -> None:
+        """Anchor wall time *now* to virtual time ``virtual_now``."""
+        self._wall0 = self._timer()
+        self._virtual0 = float(virtual_now)
+
+    def target(self) -> float | None:
+        """Virtual time the wall clock has reached, or ``None`` when
+        unpaced (``speed=inf``) — meaning "drain everything"."""
+        if not self.is_realtime:
+            return None
+        if self._wall0 is None:
+            raise RuntimeError("clock not started")
+        return self._virtual0 + (self._timer() - self._wall0) * self.speed
+
+    def wall_delay_until(self, virtual_time: float) -> float:
+        """Wall seconds to sleep before ``virtual_time`` is reached."""
+        target = self.target()
+        if target is None:
+            return 0.0
+        return max(0.0, (virtual_time - target) / self.speed)

@@ -1,0 +1,249 @@
+"""Stdlib HTTP front end for the serving gateway.
+
+No web framework: a :class:`ThreadingHTTPServer` whose handler threads
+bridge into the gateway's asyncio loop with
+``asyncio.run_coroutine_threadsafe``.  Endpoints:
+
+* ``POST /v1/completions`` — submit a simulated request.  JSON body:
+  ``{"prompt_tokens": int, "max_tokens": int, "tier": "Q1",
+  "important": bool, "stream": bool, "app_id": str}``.  With
+  ``stream`` true the response is Server-Sent Events, one
+  ``data: {...}`` line per output token and a final ``data: [DONE]``;
+  otherwise a single JSON object once the request finishes.  Admission
+  refusals return 429 with the shed reason.
+* ``GET /metrics`` — Prometheus text exposition (gateway counters
+  plus whatever the attached observer's registry holds).
+* ``GET /v1/stats`` — the gateway's plain JSON counters.
+* ``GET /healthz`` — liveness plus the current virtual time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.gateway import AdmissionRefused, ServeGateway
+
+
+class GatewayRuntime:
+    """Runs a gateway's asyncio loop on a dedicated daemon thread.
+
+    The stdlib HTTP server blocks per connection; this runtime gives
+    its handler threads (and the CLI main thread) a loop to submit
+    coroutines into.
+    """
+
+    def __init__(self, gateway: ServeGateway) -> None:
+        self.gateway = gateway
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True
+        )
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_forever()
+        finally:
+            self.loop.close()
+
+    def start(self, timeout: float = 10.0) -> None:
+        self._thread.start()
+        self.call(self.gateway.start(), timeout=timeout)
+
+    def call(self, coro, timeout: float | None = None):
+        """Run ``coro`` on the gateway loop; return its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if not self._thread.is_alive():
+            return
+        self.call(self.gateway.stop(), timeout=timeout)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=timeout)
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """The gateway's HTTP listener; one handler thread per connection."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        runtime: GatewayRuntime,
+        *,
+        call_timeout: float = 600.0,
+    ) -> None:
+        super().__init__(address, _GatewayHandler)
+        self.runtime = runtime
+        self.call_timeout = call_timeout
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> None:
+        """Serve on a daemon thread (the CLI owns the main thread)."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._serve_thread.start()
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    server: GatewayHTTPServer  # narrowed for attribute access
+
+    # Handler threads talk to the CLI via the response stream only;
+    # access logs would interleave with the CLI's own output.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        gateway = self.server.runtime.gateway
+        if self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok" if gateway.running else "stopping",
+                "virtual_now": gateway.session.now,
+                "speed": gateway.config.speed
+                if gateway.clock.is_realtime else "inf",
+            })
+        elif self.path == "/metrics":
+            body = gateway.prometheus_text().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/v1/stats":
+            self._send_json(200, gateway.stats.to_dict())
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        if self.path != "/v1/completions":
+            self._send_json(404, {"error": "not_found", "path": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            prompt_tokens = int(payload["prompt_tokens"])
+            decode_tokens = int(payload.get("max_tokens", 16))
+            tier = str(payload.get("tier", "Q1"))
+            important = bool(payload.get("important", True))
+            stream = bool(payload.get("stream", False))
+            app_id = str(payload.get("app_id", "api"))
+        except (KeyError, ValueError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": "bad_request",
+                                  "detail": str(error)})
+            return
+
+        runtime = self.server.runtime
+        gateway = runtime.gateway
+        try:
+            request = runtime.call(
+                gateway.submit(
+                    prompt_tokens=prompt_tokens,
+                    decode_tokens=decode_tokens,
+                    tier=tier,
+                    important=important,
+                    app_id=app_id,
+                ),
+                timeout=self.server.call_timeout,
+            )
+        except AdmissionRefused as refused:
+            self._send_json(429, {
+                "error": "admission_refused",
+                "reason": refused.reason,
+                "request_id": refused.request.request_id,
+                "tier": refused.request.qos.name,
+            })
+            return
+        except (KeyError, ValueError) as error:
+            self._send_json(400, {"error": "bad_request",
+                                  "detail": str(error)})
+            return
+
+        if stream:
+            self._stream_tokens(request.request_id)
+        else:
+            finished = runtime.call(
+                gateway.result(request.request_id),
+                timeout=self.server.call_timeout,
+            )
+            self._send_json(200, _completion_payload(finished))
+
+    def _stream_tokens(self, request_id: int) -> None:
+        runtime = self.server.runtime
+        gateway = runtime.gateway
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            while True:
+                event = runtime.call(
+                    gateway.next_token(request_id),
+                    timeout=self.server.call_timeout,
+                )
+                if event is None:
+                    break
+                self.wfile.write(
+                    b"data: " + json.dumps({
+                        "request_id": event.request_id,
+                        "token_index": event.index,
+                        "virtual_time": event.virtual_time,
+                    }).encode() + b"\n\n"
+                )
+                self.wfile.flush()
+            request = gateway.request_state(request_id)
+            if request is not None:
+                self.wfile.write(
+                    b"data: " + json.dumps(
+                        _completion_payload(request)
+                    ).encode() + b"\n\n"
+                )
+            self.wfile.write(b"data: [DONE]\n\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+
+def _completion_payload(request) -> dict:
+    return {
+        "request_id": request.request_id,
+        "tier": request.qos.name,
+        "prompt_tokens": request.prompt_tokens,
+        "tokens": request.decoded,
+        "finished": request.is_finished,
+        "cancelled": request.cancelled,
+        "cancel_reason": request.cancel_reason,
+        "ttft_s": request.ttft,
+        "ttlt_s": request.ttlt,
+        "violated": (
+            request.violated_deadline if request.is_finished
+            or request.cancelled else None
+        ),
+    }

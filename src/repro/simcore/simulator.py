@@ -34,6 +34,14 @@ class Simulator:
     def pending_events(self) -> int:
         return len(self._queue)
 
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next pending event, or None when idle.
+
+        Lets a wall-clock driver (the serving gateway) sleep exactly
+        until the simulation has something to do.
+        """
+        return self._queue.peek_time()
+
     def schedule(
         self,
         time: float,

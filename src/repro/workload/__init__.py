@@ -22,6 +22,7 @@ from repro.workload.arrivals import (
     PoissonArrivals,
     burst_schedule,
 )
+from repro.workload.replay import OpenLoopReplay, ReplayReport, wait_drained
 from repro.workload.tiers import TierAssigner, TierMix
 from repro.workload.trace import Trace, TraceBuilder
 from repro.workload.analysis import TraceStats, analyze_trace
@@ -55,4 +56,7 @@ __all__ = [
     "TierMix",
     "Trace",
     "TraceBuilder",
+    "OpenLoopReplay",
+    "ReplayReport",
+    "wait_drained",
 ]

@@ -1,0 +1,186 @@
+"""Unit tests for the unified public API facade (repro.api)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ROUTING_STRATEGIES,
+    SCHEDULER_KINDS,
+    ServeConfig,
+    Session,
+    build_trace,
+    default_tier_names,
+    make_scheduler,
+    simulate,
+)
+from repro.core.qos import Q1_INTERACTIVE
+from repro.metrics.export import summary_to_dict
+from repro.workload.datasets import AZURE_CONV
+from tests.conftest import make_request
+
+
+def _canonical(summary) -> str:
+    return json.dumps(summary_to_dict(summary), sort_keys=True)
+
+
+class TestServeConfig:
+    def test_defaults(self):
+        config = ServeConfig()
+        assert config.scheduler == "qoserve"
+        assert config.num_replicas == 1
+        assert config.routing == "round-robin"
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            ServeConfig(scheduler="lifo")
+
+    def test_scheduler_case_and_prefix_tolerated(self):
+        ServeConfig(scheduler="Sarathi-FCFS")
+
+    def test_unknown_routing(self):
+        with pytest.raises(ValueError, match="routing"):
+            ServeConfig(routing="random")
+
+    def test_bad_replica_count(self):
+        with pytest.raises(ValueError, match="num_replicas"):
+            ServeConfig(num_replicas=0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ServeConfig(chunk_size=-1)
+
+    def test_routing_mirror_matches_cluster(self):
+        # repro.api keeps a literal copy to avoid the import cycle;
+        # this pins the two tuples together.
+        from repro.cluster.deployment import (
+            ROUTING_STRATEGIES as CLUSTER_STRATEGIES,
+        )
+
+        assert tuple(ROUTING_STRATEGIES) == tuple(CLUSTER_STRATEGIES)
+
+
+class TestBuildTrace:
+    def test_by_name(self):
+        by_name = build_trace("AzConv", qps=2.0, num_requests=10, seed=3)
+        by_spec = build_trace(AZURE_CONV, qps=2.0, num_requests=10, seed=3)
+        assert [r.prompt_tokens for r in by_name] == [
+            r.prompt_tokens for r in by_spec
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            build_trace("nope", qps=1.0, num_requests=1)
+
+
+class TestSimulateGolden:
+    def test_matches_run_replica_trace(self, execution_model):
+        """The facade and the legacy helper are byte-identical."""
+        from repro.experiments.runner import run_replica_trace
+
+        def fresh_trace():
+            return build_trace(
+                AZURE_CONV, qps=3.0, num_requests=30, seed=11
+            )
+
+        legacy, _ = run_replica_trace(
+            execution_model,
+            make_scheduler("qoserve", execution_model),
+            fresh_trace(),
+        )
+        facade = simulate(
+            config=ServeConfig(scheduler="qoserve"),
+            trace=fresh_trace(),
+        )
+        assert _canonical(facade) == _canonical(legacy)
+
+    def test_builds_trace_when_given_dataset(self):
+        summary = simulate(
+            config=ServeConfig(scheduler="fcfs"),
+            dataset="AzConv",
+            qps=2.0,
+            num_requests=8,
+            seed=5,
+        )
+        assert summary.num_requests == 8
+
+
+class TestSession:
+    def test_incremental_advance(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        for i in range(4):
+            session.submit(make_request(request_id=i, arrival_time=0.1 * i))
+        session.advance(until=0.05)
+        assert session.now <= 0.05
+        session.drain()
+        assert all(r.is_finished for r in session.requests)
+
+    def test_submit_now_returns_engine(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        engine = session.submit_now(make_request())
+        assert engine is session.engine
+
+    def test_queue_depth_drops_after_drain(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        session.submit(make_request())
+        assert session.queue_depth() >= 0
+        session.drain()
+        assert session.queue_depth() == 0
+
+    def test_cancel(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        request = make_request(decode_tokens=500)
+        session.submit(request)
+        session.advance(until=0.01)
+        session.cancel(request, "test_cancel")
+        session.drain()
+        assert request.cancelled
+        assert request.cancel_reason == "test_cancel"
+
+    def test_hooks_fire(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        tokens, completions = [], []
+        session.set_token_hook(lambda r, now: tokens.append(r.request_id))
+        session.set_completion_hook(
+            lambda r, now: completions.append(r.request_id)
+        )
+        request = make_request(decode_tokens=5)
+        session.submit(request)
+        session.drain()
+        assert len(tokens) == 5
+        assert completions == [request.request_id]
+
+    def test_multi_replica_uses_cluster(self):
+        session = Session(ServeConfig(scheduler="fcfs", num_replicas=2))
+        assert session.deployment is not None
+        assert len(session.engines) == 2
+        for i in range(6):
+            session.submit(make_request(request_id=i))
+        session.drain()
+        assert session.summary().finished == 6
+
+    def test_summary_includes_scheduler_stats(self):
+        session = Session(ServeConfig(scheduler="qoserve"))
+        session.submit(make_request())
+        session.drain()
+        summary = session.summary()
+        assert "preemptions" in summary.scheduler_stats
+
+
+class TestWrapperDelegation:
+    def test_runner_reexports_facade(self):
+        from repro.experiments import runner
+
+        assert runner.build_trace is build_trace
+        assert runner.make_scheduler is make_scheduler
+        assert runner.SCHEDULER_KINDS is SCHEDULER_KINDS
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.ServeConfig is ServeConfig
+        assert repro.Session is Session
+        assert repro.simulate is simulate
+
+    def test_default_tier_names(self):
+        assert default_tier_names() == ("Q1", "Q2", "Q3")

@@ -221,3 +221,145 @@ class TestPathErrorShape:
         for argv, prefix in cases:
             assert main(argv) == 1, argv
             assert prefix in capsys.readouterr().err
+
+
+class TestHiddenAliases:
+    """Legacy underscore spellings still parse but stay out of --help."""
+
+    def test_underscore_spellings_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "fig04", "--trace_out", "t.jsonl",
+             "--metrics_out", "m.prom", "--fault_plan", "f.json",
+             "--cache_dir", "c", "--log_y"]
+        )
+        assert str(args.trace_out) == "t.jsonl"
+        assert str(args.metrics_out) == "m.prom"
+        assert str(args.fault_plan) == "f.json"
+        assert str(args.cache_dir) == "c"
+        assert args.log_y is True
+        args = parser.parse_args(
+            ["dashboard", "t.jsonl", "--slo_budget", "0.05",
+             "--no_validate"]
+        )
+        assert args.slo_budget == 0.05
+        assert args.no_validate is True
+        args = parser.parse_args(
+            ["faults", "validate", "p.json", "--num_replicas", "3"]
+        )
+        assert args.num_replicas == 3
+
+    def test_aliases_hidden_from_help(self, capsys):
+        for command in ("run", "serve", "dashboard"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--help"])
+            text = capsys.readouterr().out
+            assert "--trace_out" not in text
+            assert "_out" not in text.replace("summary_out", "")
+
+
+class TestServeParser:
+    def test_defaults(self):
+        import math
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port is None
+        assert args.speed == math.inf
+        assert args.scheduler == "qoserve"
+        assert args.num_replicas == 1
+
+    def test_speed_accepts_inf_and_floats(self):
+        import math
+
+        parser = build_parser()
+        assert parser.parse_args(
+            ["serve", "--speed", "inf"]
+        ).speed == math.inf
+        assert parser.parse_args(
+            ["serve", "--speed", "2.5"]
+        ).speed == 2.5
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--speed", "0"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--speed", "fast"])
+
+    def test_serve_underscore_aliases(self):
+        args = build_parser().parse_args(
+            ["serve", "--num_replicas", "2", "--chunk_size", "512",
+             "--max_queue_depth", "4", "--summary_out", "s.json",
+             "--tier_rate", "Q1=3"]
+        )
+        assert args.num_replicas == 2
+        assert args.chunk_size == 512
+        assert args.max_queue_depth == 4
+        assert str(args.summary_out) == "s.json"
+        assert args.tier_rate == ["Q1=3"]
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def replay_csv(self, tmp_path):
+        from repro.api import build_trace
+        from repro.workload import write_azure_csv
+
+        path = tmp_path / "trace.csv"
+        trace = build_trace("AzConv", qps=3.0, num_requests=12, seed=5)
+        write_azure_csv(trace, path)
+        return path
+
+    def test_requires_port_or_replay(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_offline_replay(self, capsys, tmp_path, replay_csv):
+        import json
+
+        summary_out = tmp_path / "summary.json"
+        code = main(["serve", "--replay", str(replay_csv),
+                     "--scheduler", "fcfs",
+                     "--summary-out", str(summary_out)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admitted=12" in out
+        payload = json.loads(summary_out.read_text())
+        assert payload["gateway"]["admitted_total"] == 12
+        assert payload["summary"]["num_requests"] == 12
+
+    def test_offline_replay_with_shedding(self, capsys, replay_csv):
+        code = main(["serve", "--replay", str(replay_csv),
+                     "--scheduler", "fcfs", "--rate", "0.2",
+                     "--burst", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shed=0" not in out
+
+    def test_bad_tier_rate(self, capsys):
+        assert main(["serve", "--replay", "x.csv",
+                     "--tier-rate", "Q1"]) == 2
+        assert "TIER=QPS" in capsys.readouterr().err
+
+    def test_unknown_deployment(self, capsys, replay_csv):
+        code = main(["serve", "--replay", str(replay_csv),
+                     "--deployment", "bogus"])
+        assert code == 2
+        assert "unknown deployment" in capsys.readouterr().err
+
+    def test_unknown_scheduler(self, capsys, replay_csv):
+        code = main(["serve", "--replay", str(replay_csv),
+                     "--scheduler", "bogus"])
+        assert code == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_replay_path_error(self, capsys, tmp_path):
+        code = main(["serve", "--replay",
+                     str(tmp_path / "missing" / "t.csv")])
+        assert code == 1
+        assert "cannot read --replay:" in capsys.readouterr().err
+
+    def test_summary_out_path_error(self, capsys, tmp_path, replay_csv):
+        code = main(["serve", "--replay", str(replay_csv),
+                     "--scheduler", "fcfs",
+                     "--summary-out", str(tmp_path / "no" / "s.json")])
+        assert code == 1
+        assert "cannot write --summary-out:" in capsys.readouterr().err

@@ -1,0 +1,305 @@
+"""Unit tests for the serving gateway (repro.serve): clock, admission,
+and the deterministic ``speed=inf`` replay path."""
+
+import heapq
+import json
+import math
+
+import pytest
+
+from repro.api import ServeConfig, Session, build_trace, simulate
+from repro.core.relegation import ViolationChecker
+from repro.metrics.export import summary_to_dict
+from repro.serve import (
+    REASON_BACKPRESSURE,
+    REASON_RATE_LIMIT,
+    AdmissionConfig,
+    AdmissionController,
+    GatewayConfig,
+    ServeGateway,
+    TokenBucket,
+    VirtualClock,
+    pick_shed_victim,
+)
+from repro.serve.gateway import SHED_CANCEL_REASON
+from repro.workload.datasets import AZURE_CONV
+from tests.conftest import make_request
+
+
+def _canonical(summary) -> str:
+    return json.dumps(summary_to_dict(summary), sort_keys=True)
+
+
+def _fig10_style_trace(seed=13, num_requests=35):
+    """A small load-sweep workload: the fig10/11 construction recipe."""
+    return build_trace(
+        AZURE_CONV, qps=4.0, num_requests=num_requests, seed=seed
+    )
+
+
+class TestVirtualClock:
+    def test_inf_has_no_target(self):
+        clock = VirtualClock(math.inf)
+        assert not clock.is_realtime
+        clock.start(5.0)
+        assert clock.target() is None
+        assert clock.wall_delay_until(100.0) == 0.0
+
+    def test_finite_speed_scales_wall_time(self):
+        wall = [100.0]
+        clock = VirtualClock(10.0, timer=lambda: wall[0])
+        clock.start(0.0)
+        wall[0] = 102.0  # 2 wall seconds at 10x
+        assert clock.target() == pytest.approx(20.0)
+        # 30 virtual seconds ahead of target = 1 more wall second.
+        assert clock.wall_delay_until(30.0) == pytest.approx(1.0)
+        assert clock.wall_delay_until(5.0) == 0.0
+
+    def test_requires_positive_speed(self):
+        with pytest.raises(ValueError):
+            VirtualClock(0.0)
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_target_before_start(self):
+        with pytest.raises(RuntimeError):
+            VirtualClock(2.0).target()
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(1.0)  # one virtual second refills one
+        assert not bucket.try_take(1.0)
+
+    def test_deterministic_sequence(self):
+        def admit_pattern():
+            bucket = TokenBucket(rate=0.5, burst=1.0)
+            return [bucket.try_take(t * 0.7) for t in range(20)]
+
+        assert admit_pattern() == admit_pattern()
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(10.0)
+        # An out-of-order timestamp must not mint extra tokens.
+        assert not bucket.try_take(5.0)
+
+
+class TestShedVictimOrdering:
+    def test_matches_relegation_heap_order(self, execution_model):
+        """The victim is exactly who RelegationPolicy would pop first."""
+        checker = ViolationChecker(
+            execution_model.seconds_per_prefill_token()
+        )
+        pool = [
+            make_request(request_id=i, prompt_tokens=p, important=False)
+            for i, p in enumerate([400, 2600, 900, 2600, 50])
+        ]
+        heap = [
+            (-checker.prefill_service_time(r), r.request_id, r)
+            for r in pool
+        ]
+        heapq.heapify(heap)
+        expected = heap[0][2]
+        assert pick_shed_victim(pool, checker) is expected
+        assert expected.request_id == 1  # largest prefill, lowest id
+
+    def test_important_requests_are_never_victims(self, execution_model):
+        checker = ViolationChecker(
+            execution_model.seconds_per_prefill_token()
+        )
+        protected = make_request(
+            request_id=0, prompt_tokens=5000, important=True
+        )
+        small = make_request(
+            request_id=1, prompt_tokens=10, important=False
+        )
+        assert pick_shed_victim([protected, small], checker) is small
+        assert pick_shed_victim([protected], checker) is None
+
+
+class TestAdmissionController:
+    def _controller(self, execution_model, **kwargs):
+        checker = ViolationChecker(
+            execution_model.seconds_per_prefill_token()
+        )
+        return AdmissionController(AdmissionConfig(**kwargs), checker)
+
+    def test_rate_limit_refuses(self, execution_model):
+        controller = self._controller(
+            execution_model, rate=1.0, burst=1.0
+        )
+        first = controller.decide(
+            make_request(request_id=0), 0.0, queue_depth=0, pending=[]
+        )
+        second = controller.decide(
+            make_request(request_id=1), 0.0, queue_depth=0, pending=[]
+        )
+        assert first.admitted
+        assert not second.admitted
+        assert second.reason == REASON_RATE_LIMIT
+
+    def test_per_tier_rate_override(self, execution_model):
+        controller = self._controller(
+            execution_model, rate=None, burst=1.0,
+            per_tier_rate={"Q1": 0.1},
+        )
+        assert controller.decide(
+            make_request(request_id=0), 0.0, queue_depth=0, pending=[]
+        ).admitted
+        assert not controller.decide(
+            make_request(request_id=1), 0.0, queue_depth=0, pending=[]
+        ).admitted
+
+    def test_backpressure_picks_victim(self, execution_model):
+        controller = self._controller(execution_model, max_queue_depth=1)
+        queued = make_request(
+            request_id=0, prompt_tokens=4000, important=False
+        )
+        incoming = make_request(
+            request_id=1, prompt_tokens=100, important=False
+        )
+        decision = controller.decide(
+            incoming, 0.0, queue_depth=2, pending=[queued]
+        )
+        assert decision.admitted
+        assert decision.victim is queued
+
+    def test_backpressure_refuses_when_self_is_victim(
+        self, execution_model
+    ):
+        controller = self._controller(execution_model, max_queue_depth=1)
+        queued = make_request(
+            request_id=0, prompt_tokens=100, important=True
+        )
+        incoming = make_request(
+            request_id=1, prompt_tokens=4000, important=False
+        )
+        decision = controller.decide(
+            incoming, 0.0, queue_depth=2, pending=[queued]
+        )
+        assert not decision.admitted
+        assert decision.reason == REASON_BACKPRESSURE
+
+
+class TestReplayByteIdentity:
+    def test_replay_matches_batch_path(self):
+        """``--speed inf`` replay == batch simulation, byte for byte."""
+        batch = simulate(
+            config=ServeConfig(scheduler="qoserve"),
+            trace=_fig10_style_trace(),
+        )
+        session = Session(ServeConfig(scheduler="qoserve"))
+        gateway = ServeGateway(session)
+        replayed = gateway.replay(_fig10_style_trace())
+        assert _canonical(replayed) == _canonical(batch)
+        assert gateway.stats.admitted_total == 35
+        assert gateway.stats.shed_total == 0
+        assert gateway.stats.tokens_streamed_total == sum(
+            r.decode_tokens for r in gateway.offered
+        )
+
+    def test_replay_requires_inf_speed(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        gateway = ServeGateway(
+            session, config=GatewayConfig(speed=10.0)
+        )
+        with pytest.raises(ValueError, match="speed=inf"):
+            gateway.replay(_fig10_style_trace(num_requests=2))
+
+
+class TestDeterministicShedding:
+    def _run(self, admission: AdmissionConfig):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        gateway = ServeGateway(
+            session, config=GatewayConfig(admission=admission)
+        )
+        summary = gateway.replay(_fig10_style_trace(seed=9))
+        return gateway, summary
+
+    def test_rate_limit_sheds_deterministically(self):
+        admission = AdmissionConfig(rate=0.5, burst=1.0)
+        first, summary_a = self._run(admission)
+        second, summary_b = self._run(admission)
+        assert first.stats.shed_total > 0
+        assert first.stats.to_dict() == second.stats.to_dict()
+        assert _canonical(summary_a) == _canonical(summary_b)
+        refused = [r for r in first.offered if r.shed]
+        assert len(refused) == first.stats.shed_total
+        for request in refused:
+            assert not request.is_finished
+
+    def test_backpressure_refuses_important_only_pool(self):
+        # Equal-thirds traces are all-important: nobody is evictable,
+        # so breaching the depth bound refuses the incoming request.
+        gateway, _ = self._run(AdmissionConfig(max_queue_depth=2))
+        assert gateway.stats.shed_total > 0
+        for (_, reason), count in gateway.stats.shed.items():
+            assert reason == REASON_BACKPRESSURE
+            assert count > 0
+        assert not any(
+            r.cancel_reason == SHED_CANCEL_REASON for r in gateway.offered
+        )
+
+    def test_backpressure_evicts_low_priority_victims(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        gateway = ServeGateway(
+            session,
+            config=GatewayConfig(
+                admission=AdmissionConfig(max_queue_depth=1)
+            ),
+        )
+        trace = build_trace(
+            AZURE_CONV, qps=6.0, num_requests=30, seed=21,
+            low_priority_fraction=0.6,
+        )
+        gateway.replay(trace)
+        victims = [
+            r for r in gateway.offered
+            if r.cancel_reason == SHED_CANCEL_REASON
+        ]
+        assert victims, "expected at least one backpressure eviction"
+        for victim in victims:
+            assert not victim.important
+
+
+class TestGatewayObservability:
+    def test_events_and_counters(self):
+        from repro.obs import (
+            ListSink,
+            TraceRecorder,
+            TracingObserver,
+            validate_event,
+        )
+
+        sink = ListSink()
+        observer = TracingObserver(TraceRecorder([sink]))
+        session = Session(ServeConfig(scheduler="fcfs"), observer=observer)
+        gateway = ServeGateway(
+            session,
+            config=GatewayConfig(
+                admission=AdmissionConfig(rate=0.5, burst=1.0)
+            ),
+        )
+        gateway.replay(_fig10_style_trace(seed=9, num_requests=20))
+        kinds = {event["kind"] for event in sink.events}
+        assert "gateway_admitted" in kinds
+        assert "gateway_shed" in kinds
+        for event in sink.events:
+            validate_event(event)
+        text = observer.registry.to_prometheus_text()
+        assert "repro_gateway_admitted_total" in text
+        assert "repro_gateway_tokens_streamed_total" in text
+        assert 'reason="rate_limit"' in text
+
+    def test_prometheus_fallback_without_registry(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        gateway = ServeGateway(session)
+        gateway.replay(_fig10_style_trace(seed=9, num_requests=5))
+        text = gateway.prometheus_text()
+        assert "repro_gateway_admitted_total" in text
+        assert 'tier="' in text

@@ -1,0 +1,176 @@
+"""In-process tests for the gateway's stdlib HTTP front end."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.api import ServeConfig, Session
+from repro.serve import (
+    AdmissionConfig,
+    GatewayConfig,
+    GatewayHTTPServer,
+    GatewayRuntime,
+    ServeGateway,
+)
+
+
+@pytest.fixture
+def served():
+    """A gateway + HTTP server on an OS-assigned port; torn down clean."""
+    session = Session(ServeConfig(scheduler="fcfs"))
+    gateway = ServeGateway(
+        session, config=GatewayConfig(speed=10_000.0)
+    )
+    runtime = GatewayRuntime(gateway)
+    runtime.start()
+    server = GatewayHTTPServer(("127.0.0.1", 0), runtime)
+    server.start_background()
+    try:
+        yield gateway, server
+    finally:
+        server.stop()
+        runtime.stop()
+        assert not gateway.running
+
+
+def _request(server, method, path, body=None):
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", server.port, timeout=60
+    )
+    try:
+        connection.request(
+            method, path,
+            body=json.dumps(body) if body is not None else None,
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, server = served
+        status, body = _request(server, "GET", "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["speed"] == 10_000.0
+
+    def test_completion_roundtrip(self, served):
+        _, server = served
+        status, body = _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 128, "max_tokens": 7, "tier": "Q1"},
+        )
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["finished"] is True
+        assert payload["tokens"] == 7
+        assert payload["tier"] == "Q1"
+        assert payload["ttft_s"] > 0
+
+    def test_streaming_token_counts(self, served):
+        _, server = served
+        status, body = _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 64, "max_tokens": 9, "tier": "Q2",
+             "stream": True},
+        )
+        assert status == 200
+        lines = [
+            line[len(b"data: "):]
+            for line in body.split(b"\n\n")
+            if line.startswith(b"data: ")
+        ]
+        assert lines[-1] == b"[DONE]"
+        tokens = [
+            json.loads(line) for line in lines[:-1]
+            if b"token_index" in line
+        ]
+        assert len(tokens) == 9
+        assert [t["token_index"] for t in tokens] == list(range(1, 10))
+        completion = json.loads(lines[-2])
+        assert completion["finished"] is True
+
+    def test_metrics_scrape(self, served):
+        _, server = served
+        _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 32, "max_tokens": 3},
+        )
+        status, body = _request(server, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_gateway_tokens_streamed_total" in text
+        streamed = [
+            line for line in text.splitlines()
+            if line.startswith("repro_gateway_tokens_streamed_total{")
+        ]
+        assert streamed and any(
+            float(line.rsplit(" ", 1)[1]) > 0 for line in streamed
+        )
+
+    def test_stats_counters(self, served):
+        gateway, server = served
+        _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 16, "max_tokens": 2},
+        )
+        status, body = _request(server, "GET", "/v1/stats")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["admitted_total"] == gateway.stats.admitted_total
+        assert payload["admitted_total"] >= 1
+
+    def test_unknown_path_404(self, served):
+        _, server = served
+        status, _ = _request(server, "GET", "/nope")
+        assert status == 404
+        status, _ = _request(server, "POST", "/nope")
+        assert status == 404
+
+    def test_bad_request_400(self, served):
+        _, server = served
+        status, _ = _request(server, "POST", "/v1/completions", {})
+        assert status == 400
+        status, body = _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 8, "tier": "Q9"},
+        )
+        assert status == 400
+        assert b"unknown tier" in body
+
+
+class TestAdmissionOverHTTP:
+    def test_rate_limited_429(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        gateway = ServeGateway(
+            session,
+            config=GatewayConfig(
+                speed=10_000.0,
+                admission=AdmissionConfig(rate=1e-9, burst=1.0),
+            ),
+        )
+        runtime = GatewayRuntime(gateway)
+        runtime.start()
+        server = GatewayHTTPServer(("127.0.0.1", 0), runtime)
+        server.start_background()
+        try:
+            first, _ = _request(
+                server, "POST", "/v1/completions",
+                {"prompt_tokens": 16, "max_tokens": 2},
+            )
+            second, body = _request(
+                server, "POST", "/v1/completions",
+                {"prompt_tokens": 16, "max_tokens": 2},
+            )
+            assert first == 200
+            assert second == 429
+            payload = json.loads(body)
+            assert payload["reason"] == "rate_limit"
+            assert gateway.stats.shed_total == 1
+        finally:
+            server.stop()
+            runtime.stop()
