@@ -26,6 +26,7 @@ Python/NumPy versions).  Compare reports only within one host class.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import re
@@ -36,7 +37,11 @@ from typing import Any, Callable
 
 #: History: 2 — ``end_to_end`` grew a ``profile`` section (wall-clock
 #: totals per ``obs.timed`` hot path during the replica trace).
-SCHEMA_VERSION = 2
+#: 3 — new ``span_overhead`` section: the pinned end-to-end trace
+#: re-run with the no-op observer and with full span tracing, and the
+#: overhead ratios vs the unobserved run (the tentpole bound is <= 5%
+#: with spans on and ~0% with the no-op observer).
+SCHEMA_VERSION = 3
 
 #: Repo root (``src/repro/bench.py`` -> two levels up from ``repro``).
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -187,6 +192,84 @@ def _end_to_end_benchmark(quick: bool) -> dict[str, Any]:
     }
 
 
+def _span_overhead_benchmark(quick: bool) -> dict[str, Any]:
+    """Marginal cost of span tracing on the pinned end-to-end trace.
+
+    Four identical runs after a warm-up: the no-op
+    :data:`~repro.obs.NULL_OBSERVER` twice (baseline + noise floor; span
+    hooks on the no-op path must be free), a
+    :class:`~repro.obs.TracingObserver` with span emission suppressed
+    (the pre-span tracing cost), and the full observer.
+    ``spans_overhead`` is the span hooks' marginal cost over the
+    otherwise-identical tracing run — the quantity the "<= 5%" bound in
+    ``docs/OBSERVABILITY.md`` refers to; ``tracing_overhead`` is the
+    long-standing cost of full event tracing vs no observer at all.
+    Repetitions are interleaved across configurations (so transient
+    host load penalizes them equally) and each reports its best run,
+    the micro-benchmark noise filter.
+    """
+    from repro.experiments.configs import get_execution_model
+    from repro.experiments.runner import (
+        build_trace,
+        make_scheduler,
+        run_replica_trace,
+    )
+    from repro.obs import RingSink, TraceRecorder, TracingObserver
+    from repro.workload.datasets import AZURE_CODE
+
+    class _NoSpanObserver(TracingObserver):
+        def on_span_start(self, name, request, now, replica_id=-1):
+            pass
+
+        def on_span_end(self, name, request, now, replica_id=-1):
+            pass
+
+    execution_model = get_execution_model("llama3-8b")
+    num_requests = 150 if quick else 400
+    base = build_trace(
+        AZURE_CODE, qps=1.0, num_requests=num_requests, seed=42
+    )
+    reps = 7 if quick else 11
+
+    def run_once(observer) -> float:
+        trace = base.fresh_copy()
+        scheduler = make_scheduler("qoserve", execution_model)
+        started = time.perf_counter()
+        run_replica_trace(
+            execution_model, scheduler, trace, observer=observer
+        )
+        return time.perf_counter() - started
+
+    def tracing(cls) -> Any:
+        return cls(recorder=TraceRecorder([RingSink(capacity=4096)]))
+
+    # None adopts the engine's no-op default observer.
+    configs: list[Any] = [
+        lambda: None,
+        lambda: None,
+        lambda: tracing(_NoSpanObserver),
+        lambda: tracing(TracingObserver),
+    ]
+    run_once(None)  # warm-up: model tables and allocator caches
+    best = [math.inf] * len(configs)
+    for _ in range(reps):
+        for i, make_observer in enumerate(configs):
+            best[i] = min(best[i], run_once(make_observer()))
+    baseline_s, null_s, no_span_s, spans_s = best
+    return {
+        "workload": "AzCode qps=1.0 qoserve",
+        "num_requests": num_requests,
+        "reps": reps,
+        "baseline_s": baseline_s,
+        "null_observer_s": null_s,
+        "tracing_no_spans_s": no_span_s,
+        "spans_on_s": spans_s,
+        "null_observer_overhead": null_s / baseline_s - 1.0,
+        "tracing_overhead": no_span_s / baseline_s - 1.0,
+        "spans_overhead": spans_s / no_span_s - 1.0,
+    }
+
+
 def _sweep_benchmark(quick: bool, jobs: int | None) -> dict[str, Any]:
     """The pinned mini fig10/11 sweep: serial vs ``jobs`` workers.
 
@@ -240,6 +323,7 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
 
     micro = _micro_benchmarks(quick)
     end_to_end = _end_to_end_benchmark(quick)
+    span_overhead = _span_overhead_benchmark(quick)
     sweep = _sweep_benchmark(quick, jobs)
 
     pertree = micro["forest_predict_pertree"]["best_us"]
@@ -262,6 +346,7 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
         "micro_us": micro,
         "derived": derived,
         "end_to_end": end_to_end,
+        "span_overhead": span_overhead,
         "sweep": sweep,
     }
 

@@ -13,6 +13,10 @@ Usage::
     python -m repro faults validate chaos.json --num-replicas 4
     python -m repro serve --port 8080 --speed 10
     python -m repro serve --replay azure.csv --summary-out run.json
+    python -m repro serve --port 8080 --incidents-out incidents.jsonl
+    python -m repro top --url http://127.0.0.1:8080 --once
+    python -m repro top --incidents incidents.jsonl
+    python -m repro trace run.jsonl --spans spans.json
 
 ``--trace-out`` records every engine built during the run through the
 :mod:`repro.obs` subsystem (iteration-level JSONL events);
@@ -170,6 +174,13 @@ def _observability_parent() -> argparse.ArgumentParser:
              "to FILE after the run",
     )
     _hidden_alias(parent, "--metrics_out", type=Path, metavar="FILE")
+    parent.add_argument(
+        "--incidents-out", type=Path, default=None, metavar="FILE",
+        help="arm the SLO flight recorder: dump a JSONL incident "
+             "window around every deadline violation or burn-rate "
+             "trip to FILE (see docs/OBSERVABILITY.md)",
+    )
+    _hidden_alias(parent, "--incidents_out", type=Path, metavar="FILE")
     return parent
 
 
@@ -291,6 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-request timeline table (default when no "
              "other action is requested)",
     )
+    trace_parser.add_argument(
+        "--spans", type=Path, default=None, metavar="FILE",
+        help="export request-scoped span trees (repro.obs.spans) "
+             "to FILE",
+    )
+    trace_parser.add_argument(
+        "--spans-format", choices=("otlp", "chrome"), default="otlp",
+        help="span export format: OTLP/JSON (default) or Chrome "
+             "trace-event JSON with flow arrows",
+    )
+    _hidden_alias(trace_parser, "--spans_format",
+                  choices=("otlp", "chrome"))
     dashboard_parser = sub.add_parser(
         "dashboard",
         help="SLO-forensics report from a recorded JSONL trace",
@@ -412,6 +435,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _hidden_alias(serve_parser, "--summary_out", type=Path,
                   metavar="FILE")
+    top_parser = sub.add_parser(
+        "top",
+        help="live terminal dashboard over /v1/live (or an incident "
+             "file)",
+    )
+    top_parser.add_argument(
+        "--url", default="http://127.0.0.1:8080", metavar="URL",
+        help="gateway base URL (default: http://127.0.0.1:8080)",
+    )
+    top_parser.add_argument(
+        "--incidents", type=Path, default=None, metavar="FILE",
+        help="render a flight-recorder incident JSONL file instead of "
+             "connecting to a gateway",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="wall seconds between frames (default: 1)",
+    )
+    top_parser.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N frames (default: 0 = until interrupted)",
+    )
     return parser
 
 
@@ -462,6 +511,9 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve_command(args)
+
+    if args.command == "top":
+        return _top_command(args)
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -740,6 +792,56 @@ def _serve_epilogue(gateway, summary, args) -> int:
     return 0
 
 
+def _top_command(args) -> int:
+    """Implement ``repro top``: live dashboard or incident viewer."""
+    from repro.obs import read_incidents, render_incidents, render_top
+
+    if args.incidents is not None:
+        try:
+            incidents = read_incidents(args.incidents)
+        except OSError as error:
+            return _path_error("read --incidents", error)
+        except ValueError as error:
+            print(f"invalid incident file: {error}", file=sys.stderr)
+            return 1
+        print(render_incidents(incidents))
+        return 0
+
+    import json
+    import urllib.error
+    import urllib.request
+
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    frames = 1 if args.once else max(0, args.frames)
+    url = (f"{args.url.rstrip('/')}/v1/live"
+           f"?frames={frames}&interval={args.interval}")
+    try:
+        response = urllib.request.urlopen(url)
+    except (urllib.error.URLError, OSError) as error:
+        print(f"cannot connect to {args.url}: {error}", file=sys.stderr)
+        return 1
+    rendered = 0
+    try:
+        with response:
+            for raw in response:
+                line = raw.decode().strip()
+                if not line.startswith("data: "):
+                    continue
+                snapshot = json.loads(line[len("data: "):])
+                if rendered:
+                    print()
+                print(render_top(snapshot), flush=True)
+                rendered += 1
+    except KeyboardInterrupt:
+        pass
+    if rendered == 0:
+        print("no frames received", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _bench_command(args) -> int:
     """Implement ``repro bench``: run the perf-trajectory harness."""
     from repro.bench import run_bench, write_bench
@@ -780,9 +882,15 @@ def _faults_command(args) -> int:
 
 def _install_observer(args):
     """Enable process-wide tracing when ``run`` asked for outputs."""
-    if args.trace_out is None and args.metrics_out is None:
+    incidents_out = getattr(args, "incidents_out", None)
+    if (
+        args.trace_out is None
+        and args.metrics_out is None
+        and incidents_out is None
+    ):
         return None
     from repro.obs import (
+        FlightRecorder,
         JSONLSink,
         TraceRecorder,
         TracingObserver,
@@ -790,7 +898,12 @@ def _install_observer(args):
     )
 
     sinks = [JSONLSink(args.trace_out)] if args.trace_out else []
+    if incidents_out is not None:
+        sinks.append(FlightRecorder(incidents_out))
     observer = TracingObserver(recorder=TraceRecorder(sinks))
+    if incidents_out is not None:
+        # Surfaced in /v1/live frames and the epilogue line.
+        observer.flight_recorder = sinks[-1]
     set_default_observer(observer)
     return observer
 
@@ -808,6 +921,10 @@ def _teardown_observer(observer, args) -> None:
     if args.metrics_out is not None:
         observer.registry.write_prometheus(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
+    recorder = getattr(observer, "flight_recorder", None)
+    if recorder is not None:
+        print(f"flight recorder: {recorder.incidents_written} "
+              f"incident(s) written to {recorder.path}")
 
 
 def _trace_command(args) -> int:
@@ -832,7 +949,19 @@ def _trace_command(args) -> int:
         write_chrome_trace(events, args.chrome)
         print(f"chrome trace written to {args.chrome} "
               f"(open in Perfetto or chrome://tracing)")
-    if args.timeline or (not args.validate and args.chrome is None):
+    if args.spans is not None:
+        from repro.obs import write_spans
+
+        try:
+            count = write_spans(events, args.spans,
+                                fmt=args.spans_format)
+        except OSError as error:
+            return _path_error("write --spans", error)
+        print(f"{count} span tree(s) written to {args.spans} "
+              f"({args.spans_format})")
+    if args.timeline or (
+        not args.validate and args.chrome is None and args.spans is None
+    ):
         print(render_timeline(events))
     return 0
 

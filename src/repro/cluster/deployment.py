@@ -171,7 +171,15 @@ class ClusterDeployment:
         """
         self._submitted.append(request)
         replica = self._pick_replica()
+        now = self.simulator.now
+        observer = replica.observer
+        observer.on_span_start(
+            "dispatch", request, now, replica.replica_id
+        )
         replica.submit_now(request)
+        observer.on_span_end(
+            "dispatch", request, now, replica.replica_id
+        )
         return replica
 
     def set_completion_hook(

@@ -220,6 +220,9 @@ class ReplicaEngine:
             self.rejected.append(request)
             return
         self.scheduler.enqueue(request, self.simulator.now)
+        self.observer.on_span_start(
+            "queue", request, self.simulator.now, self.replica_id
+        )
         self._maybe_start()
 
     # --- derived state ----------------------------------------------------
@@ -285,6 +288,12 @@ class ReplicaEngine:
             self._inflight_prefills.add(request.request_id)
             if request.scheduled_first_time is None:
                 request.scheduled_first_time = now
+                self.observer.on_span_end(
+                    "queue", request, now, self.replica_id
+                )
+                self.observer.on_span_start(
+                    "prefill", request, now, self.replica_id
+                )
             if (
                 request.relegated
                 and request.request_id not in self._relegation_served_ids
@@ -452,6 +461,9 @@ class ReplicaEngine:
     def _on_prefill_finished(self, request: Request, now: float) -> None:
         self._inflight_prefills.discard(request.request_id)
         self.scheduler.on_prefill_complete(request, now)
+        self.observer.on_span_end(
+            "prefill", request, now, self.replica_id
+        )
         if self.config.prefill_only:
             # First token is produced by the decode node after handoff;
             # the prefill node's job (and its KV holding) ends here.
@@ -462,6 +474,9 @@ class ReplicaEngine:
         if request.decoded == 0:
             # The final prefill chunk yields output token 1 (Sec. 2.1).
             request.record_output_token(now)
+            self.observer.on_span_start(
+                "decode", request, now, self.replica_id
+            )
             if self.token_hook is not None:
                 self.token_hook(request, now)
         if request.is_finished:
@@ -476,6 +491,9 @@ class ReplicaEngine:
             self._decode_context_total -= request.context_length
         self.kv_cache.release(request.request_id)
         self.completed.append(request)
+        self.observer.on_span_end(
+            "decode", request, now, self.replica_id
+        )
         self.observer.on_request_completed(self.replica_id, request, now)
         self.scheduler.on_request_complete(request, now)
         if self.completion_hook is not None:

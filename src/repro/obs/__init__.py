@@ -12,6 +12,12 @@ The subsystem's legs (see ``docs/OBSERVABILITY.md``):
   and windowed SLO burn-rate counters;
 * :mod:`repro.obs.audit` — per-request latency attribution (phase
   decomposition + dominant-cause classification of SLO violations);
+* :mod:`repro.obs.spans` — request-scoped causal span trees over the
+  attribution segments, exported as OTLP/JSON and Chrome-trace flows;
+* :mod:`repro.obs.live` — live telemetry frames for ``/v1/live`` and
+  the ``repro top`` dashboard;
+* :mod:`repro.obs.recorder` — the SLO flight recorder (always-on
+  bounded ring that dumps incident windows around violations);
 * :mod:`repro.obs.dashboard` — the ``repro dashboard`` report
   (terminal summary + single-file HTML with inline SVG);
 * :mod:`repro.obs.chrome` — a Chrome trace-event exporter
@@ -62,9 +68,16 @@ from repro.obs.events import (
     RequestCompleted,
     RequestRetried,
     RequestShed,
+    SpanEnd,
+    SpanStart,
     TraceEvent,
     TraceSchemaError,
     validate_event,
+)
+from repro.obs.live import (
+    build_live_snapshot,
+    render_incidents,
+    render_top,
 )
 from repro.obs.metrics import (
     DEFAULT_CHUNK_BUCKETS,
@@ -82,10 +95,26 @@ from repro.obs.observer import (
     get_default_observer,
     set_default_observer,
 )
+from repro.obs.recorder import (
+    FlightRecorder,
+    read_incidents,
+    record_incidents,
+)
 from repro.obs.sketch import (
     BurnRateTracker,
     QuantileSketch,
     merge_sketches,
+)
+from repro.obs.spans import (
+    LIFECYCLE_STAGES,
+    Span,
+    build_span_trees,
+    conservation_error,
+    phase_durations,
+    reconciliation_error,
+    spans_to_chrome,
+    spans_to_otlp,
+    write_spans,
 )
 from repro.obs.timing import PROFILER, WallClockProfiler, timed
 from repro.obs.trace import (
@@ -127,9 +156,26 @@ __all__ = [
     "RequestCompleted",
     "RequestRetried",
     "RequestShed",
+    "SpanEnd",
+    "SpanStart",
     "TraceEvent",
     "TraceSchemaError",
     "validate_event",
+    "LIFECYCLE_STAGES",
+    "Span",
+    "build_span_trees",
+    "conservation_error",
+    "phase_durations",
+    "reconciliation_error",
+    "spans_to_chrome",
+    "spans_to_otlp",
+    "write_spans",
+    "build_live_snapshot",
+    "render_incidents",
+    "render_top",
+    "FlightRecorder",
+    "read_incidents",
+    "record_incidents",
     "DEFAULT_CHUNK_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
     "MetricFamily",

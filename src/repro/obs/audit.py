@@ -102,6 +102,13 @@ class RequestAudit:
     #: "interactive" / "non-interactive" / "" (v1 trace, unknown).
     qos_class: str = ""
     dominant_cause: str | None = None
+    #: The decomposition as an ordered timeline: ``(phase, start, end)``
+    #: tuples telescoping from arrival to completion (zero-length
+    #: segments omitted).  ``phases`` is summed from exactly these
+    #: segments, so a span tree built over them reconciles with the
+    #: attribution identically — this is what :mod:`repro.obs.spans`
+    #: consumes.
+    segments: list[tuple[str, float, float]] = field(default_factory=list)
 
     @property
     def total(self) -> float:
@@ -325,17 +332,25 @@ def _decompose(
     anchor0 = min(max(anchor0, arrival), first_token)
     first_token = min(max(first_token, arrival), completed)
 
-    phases = {name: 0.0 for name in PHASES}
+    # The decomposition is built as an ordered segment timeline and the
+    # phase totals are summed from exactly those segments, so a span
+    # tree over the segments reconciles with the phase totals by
+    # construction (the same additions, in the same order).
+    segments: list[tuple[str, float, float]] = []
+
+    def push(name: str, start: float, end: float) -> None:
+        if end > start:
+            segments.append((name, start, end))
 
     # [arrival, anchor0]: waiting for the first chunk.  If relegation
     # struck while still queued, the wait after demotion was a policy
     # decision, not congestion.
     if relegated_time is not None and relegated_time < anchor0:
         split = max(relegated_time, arrival)
-        phases["admission_queue"] = split - arrival
-        phases["relegation_stall"] += anchor0 - split
+        push("admission_queue", arrival, split)
+        push("relegation_stall", split, anchor0)
     else:
-        phases["admission_queue"] = anchor0 - arrival
+        push("admission_queue", arrival, anchor0)
 
     # [anchor0, first_token]: tiled by merged service spans (clipped)
     # and the classified gaps between them.
@@ -344,23 +359,27 @@ def _decompose(
         start = min(max(start, cursor), first_token)
         end = min(max(end, cursor), first_token)
         if start > cursor:
-            phases[_classify_gap(
+            push(_classify_gap(
                 cursor, start, retry_times, preempt_times,
                 relegated_time, served_time,
-            )] += start - cursor
-        phases["prefill_compute"] += end - start
+            ), cursor, start)
+        push("prefill_compute", start, end)
         cursor = max(cursor, end)
     if first_token > cursor:
         # Trailing wait with no recorded service (e.g. the decode ramp
         # before the first token, or a v1 trace without service spans).
-        phases[_classify_gap(
+        push(_classify_gap(
             cursor, first_token, retry_times, preempt_times,
             relegated_time, served_time,
-        )] += first_token - cursor
+        ), cursor, first_token)
 
     # [first_token, completion]: decoding (includes any re-prefill
     # after a decode eviction — the request was past first token).
-    phases["decode"] = completed - first_token
+    push("decode", first_token, completed)
+
+    phases = {name: 0.0 for name in PHASES}
+    for name, start, end in segments:
+        phases[name] += end - start
 
     violated = bool(completion["violated"])
     audit = RequestAudit(
@@ -375,6 +394,7 @@ def _decompose(
         evictions=int(completion["evictions"]),
         phases=phases,
         qos_class=str(completion.get("qos_class", "")),
+        segments=segments,
     )
     if violated:
         audit.dominant_cause = _dominant_cause(audit)

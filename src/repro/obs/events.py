@@ -37,7 +37,11 @@ from typing import Any, ClassVar
 #: * **3** — the ``gateway_admitted`` and ``gateway_shed`` kinds
 #:   (online serving gateway admission decisions).  New kinds only;
 #:   every v1/v2 trace remains valid.
-TRACE_SCHEMA_VERSION = 3
+#: * **4** — the ``span_start`` and ``span_end`` kinds (request-scoped
+#:   lifecycle spans emitted by the gateway, router and engine; see
+#:   :mod:`repro.obs.spans`).  New kinds only; every v1/v2/v3 trace
+#:   remains valid.
+TRACE_SCHEMA_VERSION = 4
 
 
 class TraceSchemaError(ValueError):
@@ -295,6 +299,54 @@ class GatewayShed(TraceEvent):
     queue_depth: int
 
 
+@dataclass(frozen=True)
+class SpanStart(TraceEvent):
+    """A request entered a lifecycle stage (see :mod:`repro.obs.spans`).
+
+    ``name`` is the stage: ``gateway`` (offered to the serving front
+    door), ``admission`` (admission decision), ``dispatch`` (router
+    chose a replica), ``queue`` (enqueued on a scheduler), ``prefill``
+    (first chunk scheduled) or ``decode`` (first output token).
+    ``replica_id`` is -1 for stages outside any replica.
+    """
+
+    kind: ClassVar[str] = "span_start"
+
+    name: str
+    request_id: int
+    replica_id: int = -1
+    tier: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        # Span markers fire several times per request on the engine's
+        # hot path; an unrolled payload (same key order as the generic
+        # reflective one) keeps the spans-on overhead within the bound
+        # documented in docs/OBSERVABILITY.md.
+        ts = self.ts
+        return {
+            "kind": self.kind,
+            "ts": ts if math.isfinite(ts) else None,
+            "name": self.name,
+            "request_id": self.request_id,
+            "replica_id": self.replica_id,
+            "tier": self.tier,
+        }
+
+
+@dataclass(frozen=True)
+class SpanEnd(TraceEvent):
+    """A request left a lifecycle stage opened by :class:`SpanStart`."""
+
+    kind: ClassVar[str] = "span_end"
+
+    name: str
+    request_id: int
+    replica_id: int = -1
+    tier: str = ""
+
+    to_dict = SpanStart.to_dict
+
+
 #: kind -> event class, the closed registry of trace event types.
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -315,6 +367,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestCancelled,
         GatewayAdmitted,
         GatewayShed,
+        SpanStart,
+        SpanEnd,
     )
 }
 

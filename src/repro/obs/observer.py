@@ -40,6 +40,8 @@ from repro.obs.events import (
     RequestCompleted,
     RequestRetried,
     RequestShed,
+    SpanEnd,
+    SpanStart,
 )
 from repro.obs.metrics import (
     DEFAULT_CHUNK_BUCKETS,
@@ -202,6 +204,28 @@ class Observer:
 
     def on_token_streamed(self, request: "Request", now: float) -> None:
         """One output token was delivered to a streaming consumer."""
+
+    # --- span hooks (repro.obs.spans) -------------------------------------
+
+    def on_span_start(
+        self,
+        name: str,
+        request: "Request",
+        now: float,
+        replica_id: int = -1,
+    ) -> None:
+        """``request`` entered lifecycle stage ``name`` (``gateway``,
+        ``admission``, ``dispatch``, ``queue``, ``prefill``,
+        ``decode``).  ``replica_id`` is -1 outside any replica."""
+
+    def on_span_end(
+        self,
+        name: str,
+        request: "Request",
+        now: float,
+        replica_id: int = -1,
+    ) -> None:
+        """``request`` left the stage opened by :meth:`on_span_start`."""
 
 
 #: Shared no-op instance — the default everywhere an observer plugs in.
@@ -601,6 +625,26 @@ class TracingObserver(Observer):
 
     def on_token_streamed(self, request, now) -> None:
         self._gateway_tokens_streamed.labels(request.qos.name).inc()
+
+    # --- span hooks -------------------------------------------------------
+
+    def on_span_start(self, name, request, now, replica_id=-1) -> None:
+        self.recorder.emit(SpanStart(
+            ts=now,
+            name=name,
+            request_id=request.request_id,
+            replica_id=replica_id,
+            tier=request.qos.name,
+        ))
+
+    def on_span_end(self, name, request, now, replica_id=-1) -> None:
+        self.recorder.emit(SpanEnd(
+            ts=now,
+            name=name,
+            request_id=request.request_id,
+            replica_id=replica_id,
+            tier=request.qos.name,
+        ))
 
     def close(self) -> None:
         self.recorder.close()

@@ -1,0 +1,401 @@
+"""Request-scoped causal span trees from recorded trace events.
+
+Every completed request becomes one span tree:
+
+* the **root** span covers arrival to completion;
+* its **phase** children are the ordered attribution segments from
+  :mod:`repro.obs.audit` (``admission_queue``, ``prefill_compute``,
+  stalls, ``decode``) — the *same* ``(phase, start, end)`` tuples the
+  auditor sums into its phase totals, so span durations reconcile with
+  the attribution by construction, not by re-derivation;
+* each ``prefill_compute`` phase carries **chunk** children, one per
+  engine iteration that served a slice of this request's prefill
+  (clipped to the phase), with the iteration number and replica;
+* **lifecycle** children overlay the schema-v4 ``span_start`` /
+  ``span_end`` markers emitted live by the gateway, router and engine
+  (``gateway``, ``admission``, ``dispatch``, ``queue``, ``prefill``,
+  ``decode``).  They are an independent, live-recorded view — the
+  conservation invariant applies to the phase children only.
+
+Trees export as OTLP-compatible JSON (:func:`spans_to_otlp`) for any
+OpenTelemetry backend and as Chrome trace events with flow arrows
+(:func:`spans_to_chrome`) for Perfetto.  Both exports are fully
+deterministic: trace and span ids derive from the request id and the
+span's position in the tree, never from randomness or wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.audit import RequestAudit, audit_events
+
+_US = 1e6   # seconds -> Chrome trace microseconds
+_NS = 1e9   # seconds -> OTLP nanoseconds
+
+#: Lifecycle stages in causal order (the ``name`` field of
+#: ``span_start`` / ``span_end`` events).
+LIFECYCLE_STAGES: tuple[str, ...] = (
+    "gateway",
+    "admission",
+    "dispatch",
+    "queue",
+    "prefill",
+    "decode",
+)
+
+
+@dataclass
+class Span:
+    """One node of a request's span tree.
+
+    ``category`` is ``request`` (root), ``phase`` (attribution
+    segment), ``chunk`` (engine iteration slice) or ``lifecycle``
+    (live ``span_start``/``span_end`` marker).
+    """
+
+    name: str
+    category: str
+    start: float
+    end: float
+    request_id: int
+    tier: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def walk(self) -> Iterable["Span"]:
+        """Depth-first traversal, self first (deterministic order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "request_id": self.request_id,
+            "tier": self.tier,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def phase_durations(root: Span) -> dict[str, float]:
+    """Per-phase seconds summed from the tree's phase children.
+
+    The additions happen in tree order — the same order the auditor
+    used — so the result is bit-identical to
+    :attr:`~repro.obs.audit.RequestAudit.phases` for nonzero phases.
+    """
+    totals: dict[str, float] = {}
+    for child in root.children:
+        if child.category == "phase":
+            totals[child.name] = totals.get(child.name, 0.0) + child.duration
+    return totals
+
+
+def reconciliation_error(root: Span, audit: RequestAudit) -> float:
+    """Largest per-phase disagreement between tree and attribution."""
+    durations = phase_durations(root)
+    return max(
+        (
+            abs(durations.get(name, 0.0) - seconds)
+            for name, seconds in audit.phases.items()
+        ),
+        default=0.0,
+    )
+
+
+def conservation_error(root: Span) -> float:
+    """|sum(phase children) - root duration| — the tiling invariant."""
+    total = sum(
+        child.duration for child in root.children
+        if child.category == "phase"
+    )
+    return abs(total - root.duration)
+
+
+def build_span_trees(
+    events: Iterable[Mapping[str, Any]],
+) -> list[Span]:
+    """Reconstruct one span tree per completed request.
+
+    Args:
+        events: Serialized trace events in any order (the output of
+            :func:`repro.obs.trace.read_jsonl_trace`, a sink buffer, or
+            a flight-recorder incident window).  Works on any schema
+            version — v1–v3 traces simply have no lifecycle overlay.
+    """
+    events = list(events)
+    report = audit_events(events)
+
+    # Per-request engine iterations that carried a prefill slice.
+    chunks: dict[int, list[tuple[float, float, int, int]]] = {}
+    # Live lifecycle markers: request -> stage -> [start ts] / [(ts, rid)].
+    starts: dict[int, dict[str, list[tuple[float, int]]]] = {}
+    ends: dict[int, dict[str, list[tuple[float, int]]]] = {}
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "iteration_scheduled":
+            ts = ev["ts"]
+            for request_id in ev.get("prefill_request_ids", ()):
+                chunks.setdefault(request_id, []).append(
+                    (ts, ts + ev["dur"], int(ev["replica_id"]),
+                     int(ev["iteration"]))
+                )
+        elif kind == "span_start":
+            starts.setdefault(ev["request_id"], {}).setdefault(
+                ev["name"], []
+            ).append((ev["ts"], int(ev.get("replica_id", -1))))
+        elif kind == "span_end":
+            ends.setdefault(ev["request_id"], {}).setdefault(
+                ev["name"], []
+            ).append((ev["ts"], int(ev.get("replica_id", -1))))
+
+    trees: list[Span] = []
+    for audit in report.requests:
+        root = Span(
+            name=f"request {audit.request_id}",
+            category="request",
+            start=audit.arrival_time,
+            end=audit.completion_time,
+            request_id=audit.request_id,
+            tier=audit.tier,
+            attrs={
+                "tier": audit.tier,
+                "qos_class": audit.qos_class,
+                "violated": audit.violated,
+                "relegated": audit.relegated,
+                "evictions": audit.evictions,
+                "dominant_cause": audit.dominant_cause,
+            },
+        )
+
+        chunk_index = 0
+        intervals = sorted(chunks.get(audit.request_id, []))
+        for phase, seg_start, seg_end in audit.segments:
+            child = Span(
+                name=phase,
+                category="phase",
+                start=seg_start,
+                end=seg_end,
+                request_id=audit.request_id,
+                tier=audit.tier,
+            )
+            if phase == "prefill_compute":
+                # Engine iterations clipped to this phase segment.
+                for ts, te, replica_id, iteration in intervals:
+                    lo, hi = max(ts, seg_start), min(te, seg_end)
+                    if hi <= lo:
+                        continue
+                    child.children.append(Span(
+                        name=f"chunk {chunk_index}",
+                        category="chunk",
+                        start=lo,
+                        end=hi,
+                        request_id=audit.request_id,
+                        tier=audit.tier,
+                        attrs={
+                            "replica_id": replica_id,
+                            "iteration": iteration,
+                        },
+                    ))
+                    chunk_index += 1
+            root.children.append(child)
+
+        # Lifecycle overlay: pair live markers FIFO per stage; an
+        # unmatched start closes at completion (the request finished
+        # inside the stage — e.g. "gateway" ends when the ticket does).
+        req_starts = starts.get(audit.request_id, {})
+        req_ends = ends.get(audit.request_id, {})
+        overlay: list[Span] = []
+        for stage, opened in req_starts.items():
+            closed = list(req_ends.get(stage, []))
+            for i, (ts, replica_id) in enumerate(sorted(opened)):
+                end_ts = (
+                    sorted(closed)[i][0] if i < len(closed)
+                    else audit.completion_time
+                )
+                overlay.append(Span(
+                    name=stage,
+                    category="lifecycle",
+                    start=ts,
+                    end=max(end_ts, ts),
+                    request_id=audit.request_id,
+                    tier=audit.tier,
+                    attrs={"replica_id": replica_id},
+                ))
+        overlay.sort(key=lambda s: (
+            s.start,
+            LIFECYCLE_STAGES.index(s.name)
+            if s.name in LIFECYCLE_STAGES else len(LIFECYCLE_STAGES),
+        ))
+        root.children.extend(overlay)
+        trees.append(root)
+
+    trees.sort(key=lambda s: (s.start, s.request_id))
+    return trees
+
+
+# --- OTLP export ----------------------------------------------------------
+
+
+def _otlp_value(value: Any) -> dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if value is None:
+        return {"stringValue": ""}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attrs(attrs: Mapping[str, Any]) -> list[dict[str, Any]]:
+    return [
+        {"key": key, "value": _otlp_value(value)}
+        for key, value in attrs.items()
+    ]
+
+
+def spans_to_otlp(
+    trees: Iterable[Span],
+    service_name: str = "repro.serve",
+) -> dict[str, Any]:
+    """OTLP/JSON (``ExportTraceServiceRequest``) for the span trees.
+
+    Ids are deterministic: the 128-bit trace id is the request id, the
+    64-bit span id is the request id combined with the span's
+    depth-first position — re-exporting the same trace yields the same
+    bytes.  Virtual-time seconds map to Unix nanoseconds directly
+    (epoch = simulation start).
+    """
+    spans: list[dict[str, Any]] = []
+    for root in trees:
+        trace_id = f"{root.request_id & (2 ** 128 - 1):032x}"
+
+        def span_id(seq: int) -> str:
+            raw = ((root.request_id & 0xFFFFFFFFFFFF) << 16) | (seq & 0xFFFF)
+            return f"{raw:016x}"
+
+        flat = list(root.walk())
+        parent_of: dict[int, int] = {}
+        for idx, span in enumerate(flat):
+            for child in span.children:
+                parent_of[id(child)] = idx
+        for idx, span in enumerate(flat):
+            attrs = {"category": span.category, "tier": span.tier}
+            attrs.update(span.attrs)
+            spans.append({
+                "traceId": trace_id,
+                "spanId": span_id(idx),
+                "parentSpanId": (
+                    span_id(parent_of[id(span)])
+                    if id(span) in parent_of else ""
+                ),
+                "name": span.name,
+                "kind": "SPAN_KIND_INTERNAL",
+                "startTimeUnixNano": str(int(round(span.start * _NS))),
+                "endTimeUnixNano": str(int(round(span.end * _NS))),
+                "attributes": _otlp_attrs(attrs),
+            })
+    return {
+        "resourceSpans": [{
+            "resource": {
+                "attributes": _otlp_attrs({"service.name": service_name}),
+            },
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs.spans"},
+                "spans": spans,
+            }],
+        }],
+    }
+
+
+# --- Chrome trace export --------------------------------------------------
+
+#: Track ids inside each request's process: one row per category so
+#: phases, chunks and the live overlay never visually overlap.
+_CHROME_TRACKS = {"request": 0, "phase": 1, "chunk": 2, "lifecycle": 3}
+
+
+def spans_to_chrome(trees: Iterable[Span]) -> dict[str, Any]:
+    """Chrome trace JSON: one process per request, flow arrows chaining
+    the phase segments so the causal path reads left to right."""
+    trace_events: list[dict[str, Any]] = []
+    for root in trees:
+        pid = root.request_id
+        trace_events.append({
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": f"request {root.request_id} [{root.tier}]"},
+        })
+        for track, tid in sorted(_CHROME_TRACKS.items(), key=lambda i: i[1]):
+            trace_events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            })
+        for span in root.walk():
+            trace_events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": pid,
+                "tid": _CHROME_TRACKS.get(span.category, 0),
+                "ts": span.start * _US,
+                "dur": max(0.0, span.duration) * _US,
+                "args": {"tier": span.tier, **span.attrs},
+            })
+        # Flow arrows: each phase hands off to the next.
+        phases = [c for c in root.children if c.category == "phase"]
+        for i, (prev, nxt) in enumerate(zip(phases, phases[1:])):
+            flow_id = pid * 1000 + i
+            common = {
+                "cat": "phase_flow", "name": "handoff",
+                "id": flow_id, "pid": pid,
+                "tid": _CHROME_TRACKS["phase"],
+            }
+            trace_events.append({
+                **common, "ph": "s", "ts": prev.end * _US,
+            })
+            trace_events.append({
+                **common, "ph": "f", "bp": "e", "ts": nxt.start * _US,
+            })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.spans", "time_unit": "us"},
+    }
+
+
+def write_spans(
+    events: Iterable[Mapping[str, Any]],
+    path: str | Path,
+    fmt: str = "otlp",
+) -> int:
+    """Build span trees from ``events`` and write them to ``path``.
+
+    Args:
+        fmt: ``otlp`` (OTLP/JSON) or ``chrome`` (trace-event JSON).
+
+    Returns:
+        Number of span trees (completed requests) exported.
+    """
+    trees = build_span_trees(events)
+    if fmt == "otlp":
+        doc: dict[str, Any] = spans_to_otlp(trees)
+    elif fmt == "chrome":
+        doc = spans_to_chrome(trees)
+    else:
+        raise ValueError(f"unknown span export format: {fmt!r}")
+    Path(path).write_text(json.dumps(doc))
+    return len(trees)

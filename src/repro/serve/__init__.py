@@ -9,7 +9,8 @@ Turns the batch-oriented simulator into a continuously-serving system:
 * :mod:`repro.serve.gateway` — the asyncio gateway: OpenAI-style
   ``submit``/``stream`` calls over a :class:`repro.api.Session`;
 * :mod:`repro.serve.http` — a stdlib ``http.server`` JSON endpoint
-  with SSE token streaming, ``/metrics`` and ``/healthz``.
+  with SSE token streaming, ``/metrics``, ``/healthz`` and the
+  ``/v1/live`` telemetry stream (see :mod:`repro.obs.live`).
 """
 
 from repro.serve.admission import (

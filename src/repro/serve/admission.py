@@ -54,6 +54,16 @@ class TokenBucket:
             return True
         return False
 
+    def fill(self, now: float) -> float:
+        """Tokens available at ``now`` without taking one (pure peek:
+        no refill state is committed, so a scrape never perturbs
+        admission)."""
+        if now <= self._last:
+            return self.tokens
+        return min(
+            self.burst, self.tokens + (now - self._last) * self.rate
+        )
+
 
 @dataclass(frozen=True, kw_only=True)
 class AdmissionConfig:
@@ -137,6 +147,18 @@ class AdmissionController:
                 rate, self.config.burst
             )
         return bucket
+
+    def fill_levels(self, now: float) -> dict[str, float]:
+        """Per-tier bucket fill at virtual time ``now``.
+
+        Only tiers whose bucket exists (i.e. that have seen at least
+        one rate-limited arrival) appear; an unlimited tier has no
+        bucket and no meaningful fill.
+        """
+        return {
+            tier: bucket.fill(now)
+            for tier, bucket in sorted(self._buckets.items())
+        }
 
     def decide(
         self,

@@ -52,6 +52,31 @@ class VirtualClock:
         self._wall0 = self._timer()
         self._virtual0 = float(virtual_now)
 
+    def set_speed(
+        self, speed: float, *, virtual_now: float | None = None
+    ) -> None:
+        """Change the speed factor without a jump in virtual time.
+
+        A started clock re-anchors at the virtual time the old speed
+        had reached, so ``target()`` is continuous across the change
+        (it merely bends).  Switching *from* ``inf`` has no target of
+        its own — pass ``virtual_now`` (typically the simulator's
+        ``now``) to anchor there; it also overrides the anchor for
+        finite→finite changes when given.
+        """
+        speed = float(speed)
+        if not speed > 0:
+            raise ValueError(f"speed must be > 0 (or inf), got {speed}")
+        if self.started:
+            anchor = virtual_now
+            if anchor is None:
+                anchor = self.target()
+            if anchor is None:  # inf -> finite with no anchor given
+                anchor = self._virtual0
+            self._wall0 = self._timer()
+            self._virtual0 = float(anchor)
+        self.speed = speed
+
     def target(self) -> float | None:
         """Virtual time the wall clock has reached, or ``None`` when
         unpaced (``speed=inf``) — meaning "drain everything"."""

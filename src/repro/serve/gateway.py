@@ -194,6 +194,7 @@ class ServeGateway:
         ticket = self._tickets.get(request.request_id)
         if ticket is None or ticket.request is not request:
             return
+        self._observer.on_span_end("gateway", request, now)
         self._close_ticket(ticket)
 
     def _close_ticket(self, ticket: _Ticket) -> None:
@@ -222,15 +223,19 @@ class ServeGateway:
         """
         now = self.session.now
         depth = self.session.queue_depth()
+        self._observer.on_span_start("gateway", request, now)
+        self._observer.on_span_start("admission", request, now)
         decision = self.admission.decide(
             request,
             now,
             queue_depth=depth,
             pending=self._pending_unstarted(),
         )
+        self._observer.on_span_end("admission", request, now)
         if not decision.admitted:
             request.shed = True
             self._record_shed(request, now, decision.reason, depth)
+            self._observer.on_span_end("gateway", request, now)
             ticket = self._tickets.get(request.request_id)
             if ticket is not None:
                 self._close_ticket(ticket)
@@ -255,6 +260,7 @@ class ServeGateway:
         else:
             self.session.cancel(victim, SHED_CANCEL_REASON)
         self._record_shed(victim, now, REASON_BACKPRESSURE, depth)
+        self._observer.on_span_end("gateway", victim, now)
         if ticket is not None:
             self._close_ticket(ticket)
 
@@ -458,10 +464,42 @@ class ServeGateway:
         otherwise rendered from the always-on plain counters so the
         gateway series are never absent.
         """
+        now = self.session.now
+        depth = self.session.queue_depth()
+        fills = self.admission.fill_levels(now)
         registry = getattr(self._observer, "registry", None)
         if registry is not None:
+            registry.gauge(
+                "repro_gateway_queue_depth",
+                "Cluster-wide prefill backlog seen by admission",
+            ).set(depth)
+            if fills:
+                fill_gauge = registry.gauge(
+                    "repro_gateway_token_bucket_fill",
+                    "Admission token-bucket fill per tier",
+                    labelnames=("tier",),
+                )
+                for tier, level in fills.items():
+                    fill_gauge.labels(tier=tier).set(level)
             return registry.to_prometheus_text()
         lines = [
+            "# HELP repro_gateway_queue_depth Cluster-wide prefill "
+            "backlog seen by admission",
+            "# TYPE repro_gateway_queue_depth gauge",
+            f"repro_gateway_queue_depth {depth}",
+        ]
+        if fills:
+            lines += [
+                "# HELP repro_gateway_token_bucket_fill Admission "
+                "token-bucket fill per tier",
+                "# TYPE repro_gateway_token_bucket_fill gauge",
+            ]
+            for tier, level in fills.items():
+                lines.append(
+                    "repro_gateway_token_bucket_fill"
+                    f'{{tier="{tier}"}} {level}'
+                )
+        lines += [
             "# HELP repro_gateway_admitted_total Requests admitted "
             "by the serving gateway",
             "# TYPE repro_gateway_admitted_total counter",

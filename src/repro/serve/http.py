@@ -12,9 +12,20 @@ bridge into the gateway's asyncio loop with
   otherwise a single JSON object once the request finishes.  Admission
   refusals return 429 with the shed reason.
 * ``GET /metrics`` — Prometheus text exposition (gateway counters
-  plus whatever the attached observer's registry holds).
-* ``GET /v1/stats`` — the gateway's plain JSON counters.
+  plus whatever the attached observer's registry holds), including the
+  scrape-time ``queue_depth`` and token-bucket fill gauges.
+* ``GET /v1/stats`` — the gateway's plain JSON counters plus one live
+  telemetry frame (virtual time, queue depth, sketch quantiles,
+  per-tier goodput; see :mod:`repro.obs.live`).
+* ``GET /v1/live`` — Server-Sent Events stream of live frames, one
+  ``data: {...}`` per frame.  Query params: ``frames=N`` stops after N
+  frames (0 = until the client disconnects), ``interval=S`` wall
+  seconds between frames (default 1.0).
 * ``GET /healthz`` — liveness plus the current virtual time.
+
+Live frames are built on the gateway's asyncio loop, never from the
+handler thread, so a scrape observes a consistent simulator state and
+cannot race the drive loop.
 """
 
 from __future__ import annotations
@@ -22,8 +33,11 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
+from repro.obs.live import build_live_snapshot
 from repro.serve.gateway import AdmissionRefused, ServeGateway
 
 
@@ -117,8 +131,21 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _live_snapshot(self) -> dict:
+        """Build one telemetry frame on the gateway loop (thread-safe)."""
+        runtime = self.server.runtime
+
+        async def snap() -> dict:
+            return build_live_snapshot(runtime.gateway)
+
+        return runtime.call(snap(), timeout=self.server.call_timeout)
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
         gateway = self.server.runtime.gateway
+        parsed = urlparse(self.path)
+        if parsed.path == "/v1/live":
+            self._stream_live(parse_qs(parsed.query))
+            return
         if self.path == "/healthz":
             self._send_json(200, {
                 "status": "ok" if gateway.running else "stopping",
@@ -136,9 +163,46 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
         elif self.path == "/v1/stats":
-            self._send_json(200, gateway.stats.to_dict())
+            snapshot = self._live_snapshot()
+            payload = dict(snapshot.pop("gateway"))
+            payload.update(snapshot)
+            self._send_json(200, payload)
         else:
             self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def _stream_live(self, query: dict[str, list[str]]) -> None:
+        """SSE stream of live telemetry frames (``GET /v1/live``)."""
+        try:
+            frames = int(query.get("frames", ["0"])[0])
+            interval = float(query.get("interval", ["1.0"])[0])
+            if frames < 0 or not interval > 0:
+                raise ValueError
+        except ValueError:
+            self._send_json(400, {
+                "error": "bad_request",
+                "detail": "frames must be >= 0 and interval > 0",
+            })
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        sent = 0
+        try:
+            while frames == 0 or sent < frames:
+                snapshot = self._live_snapshot()
+                self.wfile.write(
+                    b"data: " + json.dumps(snapshot).encode() + b"\n\n"
+                )
+                self.wfile.flush()
+                sent += 1
+                if frames and sent >= frames:
+                    break
+                if not self.server.runtime.gateway.running:
+                    break
+                time.sleep(interval)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
         if self.path != "/v1/completions":

@@ -363,3 +363,138 @@ class TestServeCommand:
                      "--summary-out", str(tmp_path / "no" / "s.json")])
         assert code == 1
         assert "cannot write --summary-out:" in capsys.readouterr().err
+
+
+class TestTopParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.command == "top"
+        assert args.url == "http://127.0.0.1:8080"
+        assert args.incidents is None
+        assert not args.once
+        assert args.interval == 1.0
+        assert args.frames == 0
+
+    def test_incidents_mode(self):
+        args = build_parser().parse_args(
+            ["top", "--incidents", "i.jsonl", "--once"]
+        )
+        assert str(args.incidents) == "i.jsonl"
+        assert args.once
+
+    def test_spans_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "t.jsonl", "--spans", "s.json",
+             "--spans-format", "chrome"]
+        )
+        assert str(args.spans) == "s.json"
+        assert args.spans_format == "chrome"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "t.jsonl", "--spans", "s.json",
+                 "--spans-format", "protobuf"]
+            )
+
+    def test_observability_underscore_aliases(self):
+        args = build_parser().parse_args(
+            ["serve", "--incidents_out", "i.jsonl"]
+        )
+        assert str(args.incidents_out) == "i.jsonl"
+        args = build_parser().parse_args(
+            ["trace", "t.jsonl", "--spans", "s.json",
+             "--spans_format", "chrome"]
+        )
+        assert args.spans_format == "chrome"
+
+
+class TestFlightRecorderCLI:
+    @pytest.fixture
+    def overload_csv(self, tmp_path):
+        """An arrival-compressed AzCode burst that overloads fcfs."""
+        from repro.api import build_trace
+        from repro.workload import write_azure_csv
+
+        path = tmp_path / "burst.csv"
+        trace = build_trace(
+            "AzCode", qps=1.0, num_requests=60, seed=11
+        ).scaled_arrivals(8.0)
+        write_azure_csv(trace, path)
+        return path
+
+    def test_replay_records_incidents_then_top_renders(
+        self, capsys, tmp_path, overload_csv
+    ):
+        incidents = tmp_path / "incidents.jsonl"
+        code = main(["serve", "--replay", str(overload_csv),
+                     "--scheduler", "fcfs",
+                     "--incidents-out", str(incidents)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flight recorder:" in out
+        assert str(incidents) in out
+        assert incidents.stat().st_size > 0
+
+        assert main(["top", "--incidents", str(incidents),
+                     "--once"]) == 0
+        rendered = capsys.readouterr().out
+        assert "deadline_violation" in rendered
+        assert "incident(s)" in rendered
+
+    def test_quiet_run_leaves_no_incident_file(
+        self, capsys, tmp_path
+    ):
+        from repro.api import build_trace
+        from repro.workload import write_azure_csv
+
+        csv = tmp_path / "calm.csv"
+        write_azure_csv(
+            build_trace("AzConv", qps=0.5, num_requests=5, seed=5), csv
+        )
+        incidents = tmp_path / "incidents.jsonl"
+        code = main(["serve", "--replay", str(csv),
+                     "--scheduler", "qoserve",
+                     "--incidents-out", str(incidents)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flight recorder: 0 incident(s)" in out
+        assert not incidents.exists()
+
+    def test_top_incidents_path_error(self, capsys, tmp_path):
+        code = main(["top", "--incidents",
+                     str(tmp_path / "missing.jsonl")])
+        assert code == 1
+        assert "cannot read --incidents:" in capsys.readouterr().err
+
+
+class TestSpansCLI:
+    def test_trace_spans_exports(self, capsys, tmp_path):
+        import json
+
+        trace_file = tmp_path / "run.jsonl"
+        assert main(["run", "fig06", "--scale", "smoke",
+                     "--trace-out", str(trace_file)]) == 0
+        capsys.readouterr()
+
+        otlp = tmp_path / "spans.json"
+        assert main(["trace", str(trace_file),
+                     "--spans", str(otlp)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree(s) written" in out
+        assert "(otlp)" in out
+        payload = json.loads(otlp.read_text())
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert spans
+
+        chrome = tmp_path / "spans.chrome.json"
+        assert main(["trace", str(trace_file), "--spans", str(chrome),
+                     "--spans-format", "chrome"]) == 0
+        assert "(chrome)" in capsys.readouterr().out
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_spans_path_error(self, capsys, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        trace_file.write_text("")
+        code = main(["trace", str(trace_file),
+                     "--spans", str(tmp_path / "no" / "s.json")])
+        assert code == 1
+        assert "cannot write --spans:" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Schema-compat regression: v1/v2/v3 traces stay valid under v4.
+
+Every schema bump so far added defaulted fields or new kinds only, so
+traces written by older tooling must keep validating, auditing and
+building span trees.  These tests pin that contract with hand-built
+events frozen at each historical version's vocabulary.
+"""
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    audit_events,
+    build_span_trees,
+    validate_event,
+)
+
+# --- events exactly as each schema version would have written them --------
+
+V1_EVENTS = [
+    # v1 iteration_scheduled: no queue_depth yet.
+    {
+        "kind": "iteration_scheduled", "ts": 1.0, "replica_id": 0,
+        "iteration": 0, "dur": 0.5, "prefill_tokens": 512,
+        "num_prefills": 1, "num_decodes": 0,
+        "decode_context_tokens": 0, "prefill_request_ids": [1],
+    },
+    # v1 request_completed: no qos_class yet.
+    {
+        "kind": "request_completed", "ts": 2.0, "replica_id": 0,
+        "request_id": 1, "tier": "Q1", "arrival_time": 0.0,
+        "scheduled_first_time": 1.0, "first_token_time": 1.5,
+        "completion_time": 2.0, "relegated": False, "violated": False,
+        "evictions": 0,
+    },
+]
+
+V2_EVENTS = [
+    {**V1_EVENTS[0], "queue_depth": 3},
+    {
+        "kind": "relegation_served", "ts": 1.2, "replica_id": 0,
+        "request_id": 1, "tier": "Q1", "tokens": 512, "waited": 1.2,
+    },
+    {**V1_EVENTS[1], "qos_class": "interactive"},
+]
+
+V3_EVENTS = [
+    {
+        "kind": "gateway_admitted", "ts": 0.0, "request_id": 1,
+        "tier": "Q1", "important": True, "queue_depth": 0,
+    },
+    {
+        "kind": "gateway_shed", "ts": 0.1, "request_id": 2,
+        "tier": "Q3", "important": False, "reason": "rate_limit",
+        "queue_depth": 5,
+    },
+    *V2_EVENTS,
+]
+
+V4_EVENTS = [
+    {
+        "kind": "span_start", "ts": 0.2, "name": "queue",
+        "request_id": 1, "replica_id": 0, "tier": "Q1",
+    },
+    {
+        "kind": "span_end", "ts": 1.0, "name": "queue",
+        "request_id": 1, "replica_id": 0, "tier": "Q1",
+    },
+    *V3_EVENTS,
+]
+
+VERSIONED = {1: V1_EVENTS, 2: V2_EVENTS, 3: V3_EVENTS, 4: V4_EVENTS}
+
+
+class TestBackwardCompat:
+    def test_current_version(self):
+        assert TRACE_SCHEMA_VERSION == 4
+
+    @pytest.mark.parametrize("version", sorted(VERSIONED))
+    def test_old_traces_validate(self, version):
+        for event in VERSIONED[version]:
+            validate_event(event)
+
+    @pytest.mark.parametrize("version", sorted(VERSIONED))
+    def test_old_traces_audit(self, version):
+        report = audit_events(VERSIONED[version])
+        [audit] = report.requests
+        assert audit.request_id == 1
+        assert audit.conservation_error < 1e-9
+
+    @pytest.mark.parametrize("version", sorted(VERSIONED))
+    def test_old_traces_build_span_trees(self, version):
+        [tree] = build_span_trees(VERSIONED[version])
+        assert tree.request_id == 1
+        lifecycle = [
+            s for s in tree.walk() if s.category == "lifecycle"
+        ]
+        # The overlay only exists where v4 markers exist.
+        assert bool(lifecycle) == (version >= 4)
+
+    def test_v1_defaults_are_filled_in(self):
+        """Consumers see the v2+ defaults on v1 events."""
+        report = audit_events(V1_EVENTS)
+        [audit] = report.requests
+        assert audit.qos_class == ""
+
+
+class TestStrictness:
+    def test_unknown_field_still_rejected(self):
+        event = {**V4_EVENTS[0], "surprise": 1}
+        with pytest.raises(TraceSchemaError, match="unexpected fields"):
+            validate_event(event)
+
+    def test_missing_required_field_still_rejected(self):
+        event = dict(V4_EVENTS[0])
+        del event["request_id"]
+        with pytest.raises(TraceSchemaError, match="request_id"):
+            validate_event(event)
+
+    def test_span_kind_type_checks(self):
+        event = {**V4_EVENTS[0], "name": 42}
+        with pytest.raises(TraceSchemaError):
+            validate_event(event)

@@ -65,6 +65,65 @@ class TestVirtualClock:
         with pytest.raises(RuntimeError):
             VirtualClock(2.0).target()
 
+    def test_set_speed_preserves_continuity(self):
+        """Changing speed mid-run re-anchors at the current target, so
+        virtual time never jumps at the switch point."""
+        wall = [100.0]
+        clock = VirtualClock(10.0, timer=lambda: wall[0])
+        clock.start(0.0)
+        wall[0] = 102.0  # target is now 20 virtual seconds
+        clock.set_speed(1.0)
+        assert clock.target() == pytest.approx(20.0)
+        wall[0] = 105.0  # 3 more wall seconds at 1x
+        assert clock.target() == pytest.approx(23.0)
+
+    def test_set_speed_inf_to_finite_uses_anchor(self):
+        wall = [50.0]
+        clock = VirtualClock(math.inf, timer=lambda: wall[0])
+        clock.start(0.0)
+        assert clock.target() is None
+        clock.set_speed(2.0, virtual_now=300.0)
+        assert clock.is_realtime
+        wall[0] = 51.0
+        assert clock.target() == pytest.approx(302.0)
+
+    def test_set_speed_inf_to_finite_without_anchor(self):
+        """With no anchor given, inf -> finite restarts from the epoch
+        the clock was started at (inf has no meaningful target)."""
+        wall = [50.0]
+        clock = VirtualClock(math.inf, timer=lambda: wall[0])
+        clock.start(7.0)
+        clock.set_speed(4.0)
+        wall[0] = 52.0
+        assert clock.target() == pytest.approx(7.0 + 8.0)
+
+    def test_set_speed_monotonic_target(self):
+        """The target never runs backwards across repeated changes."""
+        wall = [0.0]
+        clock = VirtualClock(5.0, timer=lambda: wall[0])
+        clock.start(0.0)
+        last = 0.0
+        for step, speed in enumerate([1.0, 100.0, 0.5, 10.0], start=1):
+            wall[0] = float(step)
+            clock.set_speed(speed)
+            target = clock.target()
+            assert target >= last
+            last = target
+
+    def test_set_speed_rejects_non_positive(self):
+        clock = VirtualClock(1.0)
+        for bad in (0.0, -2.0, float("nan")):
+            with pytest.raises(ValueError):
+                clock.set_speed(bad)
+
+    def test_set_speed_before_start(self):
+        wall = [0.0]
+        clock = VirtualClock(2.0, timer=lambda: wall[0])
+        clock.set_speed(8.0)
+        assert clock.speed == 8.0
+        clock.start(1.0)
+        assert clock.target() == pytest.approx(1.0)
+
 
 class TestTokenBucket:
     def test_burst_then_refill(self):
@@ -87,6 +146,29 @@ class TestTokenBucket:
         assert bucket.try_take(10.0)
         # An out-of-order timestamp must not mint extra tokens.
         assert not bucket.try_take(5.0)
+
+    def test_fill_is_a_pure_peek(self):
+        """``fill`` never commits refill state: a scrape between two
+        takes must not change the admission sequence."""
+        def admit_pattern(scrape: bool):
+            bucket = TokenBucket(rate=0.5, burst=1.0)
+            decisions = []
+            for t in range(20):
+                if scrape:
+                    bucket.fill(t * 0.7)
+                    bucket.fill(t * 0.7 + 0.3)
+                decisions.append(bucket.try_take(t * 0.7))
+            return decisions
+
+        assert admit_pattern(scrape=True) == admit_pattern(scrape=False)
+
+    def test_fill_reports_refill_up_to_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.fill(0.0) == pytest.approx(2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.fill(0.0) == pytest.approx(1.0)
+        assert bucket.fill(0.5) == pytest.approx(1.5)
+        assert bucket.fill(100.0) == pytest.approx(2.0)  # capped
 
 
 class TestShedVictimOrdering:
@@ -303,3 +385,41 @@ class TestGatewayObservability:
         text = gateway.prometheus_text()
         assert "repro_gateway_admitted_total" in text
         assert 'tier="' in text
+
+    def test_scrape_gauges_in_fallback_text(self):
+        session = Session(ServeConfig(scheduler="fcfs"))
+        gateway = ServeGateway(
+            session,
+            config=GatewayConfig(
+                admission=AdmissionConfig(rate=2.0, burst=4.0)
+            ),
+        )
+        gateway.replay(_fig10_style_trace(seed=9, num_requests=5))
+        text = gateway.prometheus_text()
+        assert "# TYPE repro_gateway_queue_depth gauge" in text
+        assert "repro_gateway_queue_depth 0" in text
+        fills = [
+            line for line in text.splitlines()
+            if line.startswith("repro_gateway_token_bucket_fill{")
+        ]
+        assert fills
+        for line in fills:
+            assert 0.0 <= float(line.rsplit(" ", 1)[1]) <= 4.0
+
+    def test_scrape_gauges_in_registry_text(self):
+        from repro.obs import ListSink, TraceRecorder, TracingObserver
+
+        observer = TracingObserver(TraceRecorder([ListSink()]))
+        session = Session(ServeConfig(scheduler="fcfs"), observer=observer)
+        gateway = ServeGateway(
+            session,
+            config=GatewayConfig(
+                admission=AdmissionConfig(rate=2.0, burst=4.0)
+            ),
+        )
+        gateway.replay(_fig10_style_trace(seed=9, num_requests=5))
+        text = gateway.prometheus_text()
+        assert "# TYPE repro_gateway_queue_depth gauge" in text
+        assert 'repro_gateway_token_bucket_fill{tier="' in text
+        # Scraping twice must not perturb admission state.
+        assert gateway.prometheus_text() == text

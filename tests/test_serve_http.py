@@ -124,6 +124,63 @@ class TestEndpoints:
         assert payload["admitted_total"] == gateway.stats.admitted_total
         assert payload["admitted_total"] >= 1
 
+    def test_stats_carries_live_telemetry(self, served):
+        gateway, server = served
+        _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 16, "max_tokens": 2},
+        )
+        _, body = _request(server, "GET", "/v1/stats")
+        payload = json.loads(body)
+        # Old counter keys stay top-level; the live frame rides along.
+        assert payload["admitted_total"] >= 1
+        assert payload["speed"] == 10_000.0
+        assert payload["queue_depth"] >= 0
+        assert "Q1" in payload["goodput"]
+        assert payload["goodput"]["Q1"]["offered"] >= 1
+
+    def test_live_single_frame(self, served):
+        gateway, server = served
+        _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 16, "max_tokens": 2},
+        )
+        status, body = _request(server, "GET", "/v1/live?frames=1")
+        assert status == 200
+        frames = [
+            json.loads(line[len(b"data: "):])
+            for line in body.split(b"\n\n")
+            if line.startswith(b"data: ")
+        ]
+        assert len(frames) == 1
+        frame = frames[0]
+        assert frame["virtual_now"] >= 0
+        assert frame["gateway"]["admitted_total"] >= 1
+        assert "goodput" in frame
+        assert "token_bucket_fill" in frame
+
+    def test_live_multiple_frames(self, served):
+        _, server = served
+        status, body = _request(
+            server, "GET", "/v1/live?frames=3&interval=0.01"
+        )
+        assert status == 200
+        frames = [
+            json.loads(line[len(b"data: "):])
+            for line in body.split(b"\n\n")
+            if line.startswith(b"data: ")
+        ]
+        assert len(frames) == 3
+        times = [f["virtual_now"] for f in frames]
+        assert times == sorted(times)
+
+    def test_live_rejects_bad_params(self, served):
+        _, server = served
+        for query in ("frames=-1", "interval=0", "frames=x"):
+            status, body = _request(server, "GET", f"/v1/live?{query}")
+            assert status == 400
+            assert b"bad_request" in body
+
     def test_unknown_path_404(self, served):
         _, server = served
         status, _ = _request(server, "GET", "/nope")
