@@ -62,12 +62,19 @@ from repro.workload.trace import Trace, TraceBuilder
 
 if False:  # pragma: no cover - hint only; resolved lazily below
     from repro.cluster.deployment import ClusterDeployment  # noqa: F401
+    from repro.cluster.fleet import FleetConfig, FleetDeployment  # noqa: F401
+    from repro.faults.plan import FaultPlan  # noqa: F401
 
 #: Mirrors :data:`repro.cluster.deployment.ROUTING_STRATEGIES`; kept
 #: as a literal so validating a :class:`ServeConfig` does not import
 #: the cluster package (which imports this module back through the
 #: experiment helpers).
-ROUTING_STRATEGIES = ("round-robin", "least-loaded", "power-of-two")
+ROUTING_STRATEGIES = (
+    "round-robin", "least-loaded", "power-of-two", "perf-aware",
+)
+
+#: Autoscaling policies a fleet-backed :class:`ServeConfig` accepts.
+FLEET_AUTOSCALERS = ("off", "busy-fraction", "burn-rate")
 
 #: Scheduler identifiers accepted by :func:`make_scheduler`.  The
 #: "sarathi-" prefix used in the paper's figures maps to the bare
@@ -237,6 +244,17 @@ class ServeConfig:
         num_replicas: 1 builds a bare :class:`ReplicaEngine`; more
             builds a :class:`ClusterDeployment` behind a router.
         routing: Cluster load-balancing strategy (multi-replica only).
+        fleet: Heterogeneous elastic pool description
+            (:class:`repro.cluster.fleet.FleetConfig`); when set the
+            session builds a
+            :class:`~repro.cluster.fleet.FleetDeployment` and
+            ``num_replicas`` is ignored (the fleet's ``initial`` list
+            sizes the pool).
+        fleet_autoscaler: One of :data:`FLEET_AUTOSCALERS`
+            (fleet-backed sessions only).
+        fault_plan: Chaos plan armed on the fleet
+            (:class:`repro.faults.plan.FaultPlan`; fleet-backed
+            sessions only).
         record_iterations: Keep per-batch iteration records.
         audit: Attribute per-request latency to named phases
             (:mod:`repro.obs.audit`); lands in ``summary.attribution``.
@@ -250,6 +268,9 @@ class ServeConfig:
     scheduler_kwargs: Mapping = field(default_factory=dict)
     num_replicas: int = 1
     routing: str = "round-robin"
+    fleet: "FleetConfig | None" = None
+    fleet_autoscaler: str = "burn-rate"
+    fault_plan: "FaultPlan | None" = None
     record_iterations: bool = False
     audit: bool = False
     max_events: int = 50_000_000
@@ -272,6 +293,16 @@ class ServeConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.max_events < 1:
             raise ValueError("max_events must be >= 1")
+        if self.fleet_autoscaler not in FLEET_AUTOSCALERS:
+            raise ValueError(
+                f"unknown fleet_autoscaler {self.fleet_autoscaler!r}; "
+                f"options: {FLEET_AUTOSCALERS}"
+            )
+        if self.fault_plan is not None and self.fleet is None:
+            raise ValueError(
+                "fault_plan requires fleet=... (chaos runs on the "
+                "fault-tolerant fleet deployment)"
+            )
 
 
 class Session:
@@ -340,7 +371,24 @@ class Session:
             record_iterations=config.record_iterations
         )
         self.deployment = None
-        if config.num_replicas == 1:
+        self.fleet = None
+        if config.fleet is not None:
+            from repro.cluster.fleet import FleetDeployment
+
+            factory = scheduler_factory or self._scheduler
+            self.deployment = self.fleet = FleetDeployment(
+                self.execution_model,
+                factory,
+                config.fleet,
+                replica_config=replica_config,
+                simulator=self.simulator,
+                routing=config.routing,
+                fault_plan=config.fault_plan,
+                autoscaler=self._fleet_autoscaler(),
+                observer=observer,
+            )
+            self.engine = None
+        elif config.num_replicas == 1:
             built = scheduler if scheduler is not None else self._scheduler()
             self.engine: ReplicaEngine | None = ReplicaEngine(
                 self.simulator,
@@ -349,7 +397,6 @@ class Session:
                 replica_config,
                 observer=observer,
             )
-            self.engines: list[ReplicaEngine] = [self.engine]
         else:
             from repro.cluster.deployment import ClusterDeployment
 
@@ -364,7 +411,26 @@ class Session:
                 observer=observer,
             )
             self.engine = None
-            self.engines = list(self.deployment.replicas)
+
+    def _fleet_autoscaler(self):
+        from repro.cluster.fleet import (
+            BurnRateAutoscaler,
+            BusyFractionAutoscaler,
+        )
+
+        return {
+            "off": None,
+            "busy-fraction": BusyFractionAutoscaler(),
+            "burn-rate": BurnRateAutoscaler(),
+        }[self.config.fleet_autoscaler]
+
+    @property
+    def engines(self) -> list[ReplicaEngine]:
+        """Live view of the serving replicas (a fleet can grow)."""
+        if self.deployment is not None:
+            return list(self.deployment.replicas)
+        assert self.engine is not None
+        return [self.engine]
 
     def _scheduler(self) -> Scheduler:
         config = self.config
@@ -423,11 +489,23 @@ class Session:
         self, until: float | None = None, max_events: int | None = None
     ) -> float:
         """Process events up to ``until`` (or to drain); returns now."""
+        if until is None:
+            return self.drain(max_events=max_events)
         return self.simulator.run(until=until, max_events=max_events)
 
     def drain(self, max_events: int | None = None) -> float:
-        """Run until every pending event has been processed."""
-        return self.simulator.run(max_events=max_events)
+        """Run until every pending event has been processed.
+
+        Terminates on autoscaled fleets too: their control tick parks
+        itself once the queue is otherwise empty (and wakes on the
+        next submission), so run-to-empty cannot spin.  Draining
+        replicas that emptied are released so GPU-hour accounting
+        stops at the drain point.
+        """
+        now = self.simulator.run(max_events=max_events)
+        if self.fleet is not None:
+            self.fleet._release_drained(now)
+        return now
 
     # --- streaming hooks ------------------------------------------------
 
@@ -435,6 +513,11 @@ class Session:
         self, hook: Callable[[Request, float], None]
     ) -> None:
         """Fire ``hook(request, now)`` on every output token emitted."""
+        if self.deployment is not None:
+            # The deployment chains hooks itself — a fleet also replays
+            # them onto replicas provisioned later.
+            self.deployment.set_token_hook(hook)
+            return
         for engine in self.engines:
             engine.token_hook = _chain_hooks(engine.token_hook, hook)
 
@@ -442,6 +525,9 @@ class Session:
         self, hook: Callable[[Request, float], None]
     ) -> None:
         """Fire ``hook(request, now)`` when a request completes."""
+        if self.deployment is not None:
+            self.deployment.set_completion_hook(hook)
+            return
         for engine in self.engines:
             engine.completion_hook = _chain_hooks(
                 engine.completion_hook, hook

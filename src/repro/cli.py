@@ -124,6 +124,9 @@ def _registry() -> dict[str, tuple[str, Callable[[Scale], list]]]:
         "faults": ("chaos: crash anatomy + goodput vs MTBF "
                    "(honours --fault-plan)",
                    runner("fig_faults", "run", "run_mtbf_sweep")),
+        "fleet-chaos": ("chaos: heterogeneous fleet autoscaling under "
+                        "diurnal load + faults, goodput per GPU-hour",
+                        runner("fig_fleet_chaos", "run")),
     }
 
 
@@ -275,12 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", type=Path, help="fault-plan JSON file",
     )
     validate_parser.add_argument(
-        "--num-replicas", type=int, default=None, metavar="N",
+        "--num-replicas", "--replicas", type=int, default=None,
+        metavar="N",
         help="also range-check replica indices against a deployment "
-             "of N replicas",
+             "of N replicas (the same check FaultInjector.arm applies "
+             "at deployment time)",
     )
     _hidden_alias(validate_parser, "--num_replicas", type=int,
-                  metavar="N")
+                  metavar="N", dest="num_replicas")
     trace_parser = sub.add_parser(
         "trace", help="inspect / convert a recorded JSONL trace"
     )
@@ -379,9 +384,35 @@ def build_parser() -> argparse.ArgumentParser:
     _hidden_alias(serve_parser, "--chunk_size", type=int,
                   metavar="TOKENS")
     serve_parser.add_argument(
-        "--routing", default="round-robin", metavar="STRATEGY",
-        help="multi-replica routing strategy (default: round-robin)",
+        "--routing", default=None, metavar="STRATEGY",
+        help="multi-replica routing strategy (default: round-robin, "
+             "or perf-aware with --fleet)",
     )
+    serve_parser.add_argument(
+        "--fleet", default=None, metavar="SPEC",
+        help="serve from a heterogeneous elastic fleet instead of a "
+             "fixed pool; SPEC lists initial replicas per hardware "
+             "class, e.g. 'a100:2,h100:1' (see docs/RESILIENCE.md)",
+    )
+    serve_parser.add_argument(
+        "--autoscaler", default="burn-rate",
+        choices=("off", "busy-fraction", "burn-rate"),
+        help="fleet autoscaling policy (default: burn-rate; needs "
+             "--fleet)",
+    )
+    serve_parser.add_argument(
+        "--max-replicas", type=int, default=8, metavar="N",
+        help="fleet size ceiling for the autoscaler (default: 8)",
+    )
+    _hidden_alias(serve_parser, "--max_replicas", type=int,
+                  metavar="N")
+    serve_parser.add_argument(
+        "--fault-plan", type=Path, default=None, metavar="FILE",
+        help="JSON fault schedule injected into the fleet (needs "
+             "--fleet; see docs/RESILIENCE.md)",
+    )
+    _hidden_alias(serve_parser, "--fault_plan", type=Path,
+                  metavar="FILE")
     serve_parser.add_argument(
         "--speed", type=_parse_speed, default=math.inf, metavar="FACTOR",
         help="virtual seconds simulated per wall second; 'inf' (the "
@@ -652,6 +683,39 @@ def _serve_command(args) -> int:
                   file=sys.stderr)
             return 1
 
+    fleet_config = None
+    if args.fleet is not None:
+        from repro.cluster.fleet import parse_fleet_spec
+
+        try:
+            fleet_config = parse_fleet_spec(
+                args.fleet, max_replicas=args.max_replicas
+            )
+        except ValueError as error:
+            print(f"invalid --fleet spec: {error}", file=sys.stderr)
+            return 2
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        if fleet_config is None:
+            print("--fault-plan needs --fleet (chaos runs on the "
+                  "fault-tolerant fleet deployment)", file=sys.stderr)
+            return 2
+        from repro.faults.plan import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except OSError as error:
+            return _path_error("read --fault-plan", error)
+        except (KeyError, ValueError) as error:
+            print(f"invalid fault plan {args.fault_plan}: {error}",
+                  file=sys.stderr)
+            return 1
+
+    routing = args.routing or (
+        "perf-aware" if fleet_config is not None else "round-robin"
+    )
+
     try:
         observer = _install_observer(args)
     except OSError as error:
@@ -665,7 +729,10 @@ def _serve_command(args) -> int:
                 scheduler=args.scheduler,
                 chunk_size=args.chunk_size,
                 num_replicas=args.num_replicas,
-                routing=args.routing,
+                routing=routing,
+                fleet=fleet_config,
+                fleet_autoscaler=args.autoscaler,
+                fault_plan=fault_plan,
             ))
             gateway = ServeGateway(session, config=GatewayConfig(
                 speed=args.speed,
@@ -772,6 +839,19 @@ def _serve_epilogue(gateway, summary, args) -> int:
         print(f"summary: {summary.finished}/{summary.num_requests} "
               f"finished, {summary.violations.overall_pct:.1f}% "
               "violations")
+    fleet = getattr(gateway.session, "fleet", None)
+    if fleet is not None:
+        fstats = fleet.fleet_stats()
+        by_hw = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(fstats["by_hardware"].items())
+        )
+        print(f"fleet: size={fstats['fleet_size']} ({by_hw}) "
+              f"gpu_hours={fstats['gpu_hours']:.3f} "
+              f"scaling_actions={fstats['scaling_actions']} "
+              f"crashes={fstats['crashes']} "
+              f"faults_skipped={fstats['faults_skipped']} "
+              f"max_burn={fstats['max_burn_rate']:.2f}x")
     if args.summary_out is not None:
         from repro.metrics import summary_to_dict
 
@@ -782,6 +862,8 @@ def _serve_epilogue(gateway, summary, args) -> int:
                 else None
             ),
         }
+        if fleet is not None:
+            payload["fleet"] = fleet.fleet_stats()
         try:
             args.summary_out.write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n"

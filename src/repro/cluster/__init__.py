@@ -1,5 +1,6 @@
 """Multi-replica deployments: shared vs siloed clusters, load
-balancing, capacity planning and PD disaggregation."""
+balancing, capacity planning, PD disaggregation, autoscaling and
+heterogeneous elastic fleets."""
 
 from repro.cluster.deployment import (
     ClusterDeployment,
@@ -19,10 +20,26 @@ from repro.cluster.decode_pool import (
     max_batch_for_tbt,
 )
 from repro.cluster.autoscaler import AutoscalerConfig, AutoscalingDeployment
+from repro.cluster.fleet import (
+    DEFAULT_HARDWARE_CLASSES,
+    BurnRateAutoscaler,
+    BusyFractionAutoscaler,
+    FleetConfig,
+    FleetDeployment,
+    HardwareClass,
+    parse_fleet_spec,
+)
 from repro.cluster.resilient import ResilientClusterDeployment
 
 __all__ = [
     "ResilientClusterDeployment",
+    "DEFAULT_HARDWARE_CLASSES",
+    "parse_fleet_spec",
+    "BurnRateAutoscaler",
+    "BusyFractionAutoscaler",
+    "FleetConfig",
+    "FleetDeployment",
+    "HardwareClass",
     "ClusterDeployment",
     "SiloedDeployment",
     "SiloSpec",

@@ -10,7 +10,7 @@ compares against (Sarathi-Silo), with round-robin inside each pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -41,8 +41,19 @@ def _chain(existing, hook):
 #: balancing across replicas"); least-loaded and power-of-two-choices
 #: are provided for provisioning studies — with heavy-tailed prompt
 #: lengths, load-aware routing smooths the per-replica work imbalance
-#: round-robin leaves behind.
-ROUTING_STRATEGIES = ("round-robin", "least-loaded", "power-of-two")
+#: round-robin leaves behind.  perf-aware extends least-loaded for
+#: heterogeneous pools: prefill-heavy requests prefer compute-rich
+#: replicas, decode-heavy requests prefer memory-rich ones, by scoring
+#: outstanding work against the hardware capability that governs the
+#: request's bottleneck phase.  On a homogeneous pool it reduces
+#: exactly to least-loaded (same replica-index tie-break).
+ROUTING_STRATEGIES = (
+    "round-robin", "least-loaded", "power-of-two", "perf-aware",
+)
+
+#: A request whose prompt is at least this many times its decode
+#: length is classified prefill-heavy by perf-aware routing.
+PREFILL_HEAVY_RATIO = 4.0
 
 
 class ClusterDeployment:
@@ -57,6 +68,7 @@ class ClusterDeployment:
         simulator: Simulator | None = None,
         routing: str = "round-robin",
         observer=None,
+        execution_models: Sequence[ExecutionModel] | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -65,13 +77,22 @@ class ClusterDeployment:
                 f"unknown routing {routing!r}; "
                 f"options: {ROUTING_STRATEGIES}"
             )
+        if execution_models is not None:
+            if len(execution_models) != num_replicas:
+                raise ValueError(
+                    f"execution_models has {len(execution_models)} "
+                    f"entries for {num_replicas} replicas"
+                )
+            per_replica = list(execution_models)
+        else:
+            per_replica = [execution_model] * num_replicas
         self.simulator = simulator or Simulator()
         self.execution_model = execution_model
         self.routing = routing
         self.replicas = [
             ReplicaEngine(
                 self.simulator,
-                execution_model,
+                per_replica[i],
                 scheduler_factory(),
                 replica_config or ReplicaConfig(),
                 replica_id=i,
@@ -90,7 +111,9 @@ class ClusterDeployment:
 
     @property
     def gpus_used(self) -> int:
-        return self.num_replicas * self.execution_model.tp_degree
+        return sum(
+            replica.execution_model.tp_degree for replica in self.replicas
+        )
 
     def _outstanding(self, replica: ReplicaEngine) -> int:
         return (
@@ -107,10 +130,54 @@ class ClusterDeployment:
         """
         return self.replicas
 
-    def _pick_replica(self) -> ReplicaEngine:
+    @staticmethod
+    def _phase_capability(
+        replica: ReplicaEngine, prefill_heavy: bool
+    ) -> float:
+        """Hardware capability governing the request's bottleneck phase.
+
+        Prefill is compute-bound (effective linear FLOPs); decode is
+        memory-bound (weight/KV streaming bandwidth).  Per-rank values
+        are equivalent here because routing only compares ratios.
+        """
+        hardware = replica.execution_model.hardware
+        if prefill_heavy:
+            return hardware.peak_flops * hardware.mfu_linear
+        return hardware.mem_bandwidth
+
+    def _pick_replica(self, request: Request | None = None) -> ReplicaEngine:
         candidates = self._eligible_replicas()
         if not candidates:
             raise RuntimeError("routing found no eligible replica")
+        if self.routing == "perf-aware":
+            # Score queue depth against the capability that governs
+            # this request's bottleneck phase, so prefill-heavy work
+            # prefers compute-rich replicas and decode-heavy work
+            # prefers memory-rich ones.  Capabilities are normalized
+            # to the fastest candidate so the score stays a pure
+            # load ratio: on a homogeneous pool every weight is 1.0
+            # and this is exactly least-loaded.
+            prefill_heavy = (
+                request is not None
+                and request.prompt_tokens
+                >= PREFILL_HEAVY_RATIO * request.decode_tokens
+            )
+            best = max(
+                self._phase_capability(r, prefill_heavy)
+                for r in candidates
+            )
+            # outstanding + 1 counts the request being placed, so an
+            # all-idle pool still prefers the fastest hardware instead
+            # of degenerating to replica 0.
+            return min(
+                candidates,
+                key=lambda r: (
+                    (self._outstanding(r) + 1)
+                    * best
+                    / self._phase_capability(r, prefill_heavy),
+                    r.replica_id,
+                ),
+            )
         if self.routing == "round-robin" or len(candidates) == 1:
             # Walk the rotation cursor to the next eligible replica so
             # rotation order survives replicas leaving and rejoining.
@@ -155,11 +222,11 @@ class ClusterDeployment:
         """
         self._submitted.append(request)
         if self.routing == "round-robin":
-            self._pick_replica().submit(request)
+            self._pick_replica(request).submit(request)
             return
         self.simulator.schedule(
             max(request.arrival_time, self.simulator.now),
-            lambda: self._pick_replica().submit_now(request),
+            lambda: self._pick_replica(request).submit_now(request),
         )
 
     def submit_now(self, request: Request) -> ReplicaEngine:
@@ -170,7 +237,7 @@ class ClusterDeployment:
         caller can later cancel or stream against it.
         """
         self._submitted.append(request)
-        replica = self._pick_replica()
+        replica = self._pick_replica(request)
         now = self.simulator.now
         observer = replica.observer
         observer.on_span_start(

@@ -56,6 +56,8 @@ class ResilientClusterDeployment(ClusterDeployment):
         routing: str = "round-robin",
         fault_plan: FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
+        execution_models: list[ExecutionModel] | None = None,
+        observer=None,
     ) -> None:
         super().__init__(
             execution_model,
@@ -64,21 +66,15 @@ class ResilientClusterDeployment(ClusterDeployment):
             replica_config=replica_config,
             simulator=simulator,
             routing=routing,
+            execution_models=execution_models,
+            observer=observer,
         )
         if fault_plan is None:
             fault_plan = get_default_fault_plan() or FaultPlan()
-        out_of_range = {
-            r for r in fault_plan.replicas_touched() if r >= num_replicas
-        }
-        if out_of_range:
-            raise ValueError(
-                f"fault plan targets replicas {sorted(out_of_range)} but "
-                f"the deployment has only {num_replicas}"
-            )
         self.fault_plan = fault_plan
         self.resilience = resilience or ResilienceConfig()
         self.injector = FaultInjector(self.simulator, self, fault_plan)
-        self.injector.arm()
+        self.injector.arm(num_replicas=self._fault_pool_size())
 
         #: request_id -> replica currently serving the request.
         self._owner: dict[int, ReplicaEngine] = {}
@@ -92,6 +88,17 @@ class ResilientClusterDeployment(ClusterDeployment):
         self.total_lost_to_crashes = 0
         for replica in self.replicas:
             replica.completion_hook = self._on_request_complete
+
+    def _fault_pool_size(self) -> int:
+        """Pool size fault plans are validated against at arm time.
+
+        The static resilient pool rejects plans naming replicas it
+        will never have; the elastic fleet overrides this with its
+        *maximum* size (slots that exist only transiently are legal
+        targets — faults on currently-absent slots become
+        ``fault_skipped`` no-ops at fire time).
+        """
+        return self.num_replicas
 
     # --- health ---------------------------------------------------------
 
@@ -118,17 +125,20 @@ class ResilientClusterDeployment(ClusterDeployment):
         alive = self.alive_fraction
         level = self.resilience.degradation_level(alive)
         if level >= 1 and self._sheddable(request, level):
-            request.shed = True
-            self.shed_requests.append(request)
-            self.replicas[0].observer.on_request_shed(request, now, alive)
+            self._shed(request, now, alive)
             return
-        if not any(r.healthy for r in self.replicas):
+        if not self._eligible_replicas():
             # Total outage: hold the request until a recovery; the
             # deadline watchdog still covers it.
             self._arm_watchdog(request)
             self._waiting.append(request)
             return
         self._dispatch(request)
+
+    def _shed(self, request: Request, now: float, alive: float) -> None:
+        request.shed = True
+        self.shed_requests.append(request)
+        self.replicas[0].observer.on_request_shed(request, now, alive)
 
     def _sheddable(self, request: Request, level: int) -> bool:
         """Victim ordering mirrors relegation: free tier first, then
@@ -139,7 +149,7 @@ class ResilientClusterDeployment(ClusterDeployment):
         return level >= 2 and not request.is_interactive
 
     def _dispatch(self, request: Request) -> None:
-        engine = self._pick_replica()
+        engine = self._pick_replica(request)
         request.attempts += 1
         self._owner[request.request_id] = engine
         if request.attempts == 1:
@@ -168,7 +178,7 @@ class ResilientClusterDeployment(ClusterDeployment):
         engine.recover()
         # A recovery may be the only healthy capacity: drain the
         # stranded queue in FIFO order.
-        while self._waiting and any(r.healthy for r in self.replicas):
+        while self._waiting and self._eligible_replicas():
             request = self._waiting.popleft()
             if request.cancelled or request.is_finished:
                 continue
@@ -206,10 +216,15 @@ class ResilientClusterDeployment(ClusterDeployment):
     def _redispatch(self, request: Request) -> None:
         if request.cancelled or request.is_finished:
             return
-        if not any(r.healthy for r in self.replicas):
+        if not self._eligible_replicas():
             self._waiting.append(request)
             return
         self._dispatch(request)
+
+    def _record_cancel(self, request: Request, now: float) -> None:
+        """Bookkeeping for a definitive give-up on a request;
+        subclasses add their own accounting (e.g. SLO burn)."""
+        self.cancelled_requests.append(request)
 
     def _cancel_unowned(
         self, request: Request, now: float, reason: str
@@ -218,7 +233,7 @@ class ResilientClusterDeployment(ClusterDeployment):
         crash, waiting out a backoff, or stranded in the outage
         queue)."""
         request.cancel(now, reason)
-        self.cancelled_requests.append(request)
+        self._record_cancel(request, now)
         self._disarm_watchdog(request)
         self.replicas[0].observer.on_request_cancelled(
             -1, request, now, reason
@@ -272,7 +287,7 @@ class ResilientClusterDeployment(ClusterDeployment):
             # The engine cancels the request (resident or not), frees
             # its KV and fires the observer hook.
             owner.cancel_request(request, "deadline")
-            self.cancelled_requests.append(request)
+            self._record_cancel(request, now)
             return
         # Not resident (backoff or outage queue): cancel directly.
         try:
@@ -280,7 +295,7 @@ class ResilientClusterDeployment(ClusterDeployment):
         except ValueError:
             pass
         request.cancel(now, "deadline")
-        self.cancelled_requests.append(request)
+        self._record_cancel(request, now)
         self.replicas[0].observer.on_request_cancelled(
             -1, request, now, "deadline"
         )

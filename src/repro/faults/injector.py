@@ -51,15 +51,35 @@ class FaultInjector:
         self.plan = plan
         self._armed = False
 
-    def arm(self) -> int:
+    def arm(self, num_replicas: int | None = None) -> int:
         """Schedule the plan's events; returns how many were armed.
 
         Idempotent: a second call is a no-op (the plan is a schedule,
         not a rate).  An empty plan schedules nothing, so it cannot
         perturb event ordering — the determinism-pin guarantee.
+
+        Args:
+            num_replicas: When given, reject plans targeting replica
+                indices outside ``range(num_replicas)`` — previously
+                such events were silently armed and fired into
+                nothingness.  Elastic fleets arm against their
+                *maximum* pool size and downgrade faults on
+                since-drained slots to ``fault_skipped`` trace events
+                at fire time.
         """
         if self._armed:
             return 0
+        if num_replicas is not None:
+            out_of_range = {
+                rid
+                for rid in self.plan.replicas_touched()
+                if rid < 0 or rid >= num_replicas
+            }
+            if out_of_range:
+                raise ValueError(
+                    f"fault plan targets replicas {sorted(out_of_range)} "
+                    f"but the deployment has only {num_replicas}"
+                )
         self._armed = True
         armed = 0
         for event in self.plan.events:

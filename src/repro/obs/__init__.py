@@ -54,6 +54,8 @@ from repro.obs.events import (
     TRACE_SCHEMA_VERSION,
     ChunkSized,
     DecodeEvicted,
+    FaultSkipped,
+    FleetResized,
     GatewayAdmitted,
     GatewayShed,
     IterationScheduled,
@@ -143,6 +145,8 @@ __all__ = [
     "RelegationServed",
     "ChunkSized",
     "DecodeEvicted",
+    "FaultSkipped",
+    "FleetResized",
     "GatewayAdmitted",
     "GatewayShed",
     "IterationScheduled",

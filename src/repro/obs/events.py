@@ -41,7 +41,13 @@ from typing import Any, ClassVar
 #:   lifecycle spans emitted by the gateway, router and engine; see
 #:   :mod:`repro.obs.spans`).  New kinds only; every v1/v2/v3 trace
 #:   remains valid.
-TRACE_SCHEMA_VERSION = 4
+#: * **5** — the ``fault_skipped`` kind (a fault plan event targeting a
+#:   replica that no longer exists or has been drained from an elastic
+#:   fleet resolved to a well-defined no-op) and the ``fleet_resized``
+#:   kind (the heterogeneous fleet provisioned, drained or released a
+#:   replica; see :mod:`repro.cluster.fleet`).  New kinds only; every
+#:   v1–v4 trace remains valid.
+TRACE_SCHEMA_VERSION = 5
 
 
 class TraceSchemaError(ValueError):
@@ -270,6 +276,47 @@ class RequestCancelled(TraceEvent):
 
 
 @dataclass(frozen=True)
+class FaultSkipped(TraceEvent):
+    """A fault plan event resolved to a no-op instead of firing.
+
+    Elastic fleets resize while a fault plan (armed against the
+    maximum pool size) keeps firing; a crash or slowdown aimed at a
+    replica slot that has since been drained, released, or never
+    provisioned is recorded here instead of raising mid-run.
+    ``fault_kind`` mirrors :class:`repro.faults.plan.FaultEvent.kind`
+    (``"crash"`` / ``"recover"`` / ``"slowdown"``); ``reason`` says why
+    the target was invalid (``"drained"``, ``"released"``,
+    ``"not_provisioned"``).
+    """
+
+    kind: ClassVar[str] = "fault_skipped"
+
+    replica_id: int
+    fault_kind: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class FleetResized(TraceEvent):
+    """The heterogeneous fleet changed size or composition.
+
+    ``action`` is ``"provision"`` (cold-start begun), ``"ready"`` (a
+    provisioned replica came online), ``"drain"`` (a replica stopped
+    accepting work) or ``"release"`` (a drained replica finished its
+    backlog and left the pool).  ``fleet_size`` counts replicas that
+    are provisioned and not yet released after the action.
+    """
+
+    kind: ClassVar[str] = "fleet_resized"
+
+    action: str
+    replica_id: int
+    hardware: str
+    fleet_size: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class GatewayAdmitted(TraceEvent):
     """The online gateway accepted an arrival into a replica."""
 
@@ -365,6 +412,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestRetried,
         RequestShed,
         RequestCancelled,
+        FaultSkipped,
+        FleetResized,
         GatewayAdmitted,
         GatewayShed,
         SpanStart,

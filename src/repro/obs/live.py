@@ -105,6 +105,10 @@ def build_live_snapshot(gateway: Any) -> dict[str, Any]:
         "token_bucket_fill": gateway.admission.fill_levels(now),
         "goodput": _tier_goodput(gateway.offered),
     }
+    fleet_snapshot = getattr(gateway, "_fleet_snapshot", None)
+    fleet = fleet_snapshot() if fleet_snapshot is not None else None
+    if fleet is not None:
+        snapshot["fleet"] = fleet
     observer = gateway._observer
     registry = getattr(observer, "registry", None)
     if registry is not None:
@@ -197,6 +201,22 @@ def render_top(snapshot: Mapping[str, Any]) -> str:
                 ]
                 for tier, row in tiers.items()
             ],
+        )
+
+    fleet = snapshot.get("fleet")
+    if fleet is not None:
+        by_hw = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(fleet["by_hardware"].items())
+        )
+        lines.append("")
+        lines.append(
+            f"fleet: {fleet['size']} provisioned "
+            f"({fleet['active']} active)  {by_hw}  "
+            f"alive={_fmt(fleet['alive_fraction'], 2)}  "
+            f"burn={_fmt(fleet['burn_rate'], 2)}x  "
+            f"gpu_hours={_fmt(fleet['gpu_hours'], 3)}  "
+            f"faults_skipped={fleet['faults_skipped']}"
         )
 
     burn = snapshot.get("burn_rate")

@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from repro.obs.events import (
     ChunkSized,
     DecodeEvicted,
+    FaultSkipped,
+    FleetResized,
     GatewayAdmitted,
     GatewayShed,
     IterationScheduled,
@@ -184,6 +186,30 @@ class Observer:
         ``replica_id`` is -1 when the request was not resident on any
         replica (e.g. cancelled while awaiting re-dispatch).
         """
+
+    def on_fault_skipped(
+        self, replica_id: int, now: float, fault_kind: str, reason: str
+    ) -> None:
+        """A fault plan event targeting ``replica_id`` resolved to a
+        no-op (the slot was drained, released or never provisioned)."""
+
+    # --- fleet hooks (repro.cluster.fleet) --------------------------------
+
+    def on_fleet_resized(
+        self,
+        now: float,
+        action: str,
+        replica_id: int,
+        hardware: str,
+        fleet_size: int,
+        reason: str = "",
+        by_hardware: "dict[str, int] | None" = None,
+    ) -> None:
+        """The elastic fleet changed size: ``action`` is ``provision``,
+        ``ready``, ``drain`` or ``release``; ``fleet_size`` counts
+        replicas provisioned and not yet released after the action.
+        ``by_hardware`` is the full post-action per-class composition
+        (for gauges; not part of the trace event)."""
 
     # --- gateway hooks (repro.serve) --------------------------------------
 
@@ -362,6 +388,23 @@ class TracingObserver(Observer):
         self._gateway_tokens_streamed = reg.counter(
             "repro_gateway_tokens_streamed_total",
             "Output tokens delivered to streaming consumers", ("tier",),
+        )
+        self._faults_skipped = reg.counter(
+            "repro_faults_skipped_total",
+            "Fault plan events resolved to no-ops on absent replicas",
+            ("fault_kind", "reason"),
+        )
+        self._fleet_resizes = reg.counter(
+            "repro_fleet_resizes_total",
+            "Fleet provisioning actions", ("action", "hardware"),
+        )
+        self._fleet_size_gauge = reg.gauge(
+            "repro_fleet_size",
+            "Replicas provisioned and not yet released",
+        )
+        self._fleet_hardware_gauge = reg.gauge(
+            "repro_fleet_replicas",
+            "Provisioned replicas by hardware class", ("hardware",),
         )
         # Per-tier latency sketches: mergeable percentiles replacing
         # fixed-bucket histograms for the three governing latencies.
@@ -599,6 +642,34 @@ class TracingObserver(Observer):
             waited=now - request.arrival_time,
         ))
         self._cancellations.labels(request.qos.name, reason).inc()
+
+    def on_fault_skipped(self, replica_id, now, fault_kind, reason) -> None:
+        self.recorder.emit(FaultSkipped(
+            ts=now,
+            replica_id=replica_id,
+            fault_kind=fault_kind,
+            reason=reason,
+        ))
+        self._faults_skipped.labels(fault_kind, reason).inc()
+
+    # --- fleet hooks ------------------------------------------------------
+
+    def on_fleet_resized(
+        self, now, action, replica_id, hardware, fleet_size, reason="",
+        by_hardware=None,
+    ) -> None:
+        self.recorder.emit(FleetResized(
+            ts=now,
+            action=action,
+            replica_id=replica_id,
+            hardware=hardware,
+            fleet_size=fleet_size,
+            reason=reason,
+        ))
+        self._fleet_resizes.labels(action, hardware).inc()
+        self._fleet_size_gauge.set(fleet_size)
+        for name, count in (by_hardware or {}).items():
+            self._fleet_hardware_gauge.labels(hardware=name).set(count)
 
     # --- gateway hooks ----------------------------------------------------
 

@@ -467,6 +467,7 @@ class ServeGateway:
         now = self.session.now
         depth = self.session.queue_depth()
         fills = self.admission.fill_levels(now)
+        fleet = self._fleet_snapshot()
         registry = getattr(self._observer, "registry", None)
         if registry is not None:
             registry.gauge(
@@ -481,6 +482,22 @@ class ServeGateway:
                 )
                 for tier, level in fills.items():
                     fill_gauge.labels(tier=tier).set(level)
+            if fleet is not None:
+                registry.gauge(
+                    "repro_fleet_size",
+                    "Provisioned (non-released) fleet replicas",
+                ).set(fleet["size"])
+                hw_gauge = registry.gauge(
+                    "repro_fleet_replicas",
+                    "Provisioned fleet replicas per hardware class",
+                    labelnames=("hardware",),
+                )
+                for name, count in fleet["by_hardware"].items():
+                    hw_gauge.labels(hardware=name).set(count)
+                registry.gauge(
+                    "repro_fleet_burn_rate",
+                    "Recent SLO error-budget burn rate of the fleet",
+                ).set(fleet["burn_rate"])
             return registry.to_prometheus_text()
         lines = [
             "# HELP repro_gateway_queue_depth Cluster-wide prefill "
@@ -528,4 +545,40 @@ class ServeGateway:
                 "repro_gateway_tokens_streamed_total"
                 f'{{tier="{tier}"}} {count}'
             )
+        if fleet is not None:
+            lines += [
+                "# HELP repro_fleet_size Provisioned (non-released) "
+                "fleet replicas",
+                "# TYPE repro_fleet_size gauge",
+                f"repro_fleet_size {fleet['size']}",
+                "# HELP repro_fleet_replicas Provisioned fleet "
+                "replicas per hardware class",
+                "# TYPE repro_fleet_replicas gauge",
+            ]
+            for name, count in sorted(fleet["by_hardware"].items()):
+                lines.append(
+                    f'repro_fleet_replicas{{hardware="{name}"}} {count}'
+                )
+            lines += [
+                "# HELP repro_fleet_burn_rate Recent SLO error-budget "
+                "burn rate of the fleet",
+                "# TYPE repro_fleet_burn_rate gauge",
+                f"repro_fleet_burn_rate {fleet['burn_rate']}",
+            ]
         return "\n".join(lines) + "\n"
+
+    def _fleet_snapshot(self) -> dict | None:
+        """Fleet gauges for ``/metrics`` and ``/v1/live`` (None when
+        the session is not fleet-backed)."""
+        fleet = getattr(self.session, "fleet", None)
+        if fleet is None:
+            return None
+        return {
+            "size": fleet.fleet_size,
+            "active": fleet.active_replicas,
+            "by_hardware": fleet.size_by_hardware(),
+            "burn_rate": fleet.recent_burn_rate(self.session.now),
+            "alive_fraction": fleet.alive_fraction,
+            "gpu_hours": fleet.gpu_hours,
+            "faults_skipped": fleet.faults_skipped,
+        }

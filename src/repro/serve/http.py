@@ -21,7 +21,11 @@ bridge into the gateway's asyncio loop with
   ``data: {...}`` per frame.  Query params: ``frames=N`` stops after N
   frames (0 = until the client disconnects), ``interval=S`` wall
   seconds between frames (default 1.0).
-* ``GET /healthz`` — liveness plus the current virtual time.
+* ``GET /healthz`` — liveness plus the current virtual time.  On a
+  fault-tolerant deployment whose alive fraction has crossed a
+  graceful-degradation threshold the status is ``degraded`` (still
+  HTTP 200 — the gateway *is* serving, just shedding tiers) with the
+  ``alive_fraction`` and ``degradation_level`` that triggered it.
 
 Live frames are built on the gateway's asyncio loop, never from the
 handler thread, so a scrape observes a consistent simulator state and
@@ -78,6 +82,32 @@ class GatewayRuntime:
         self.call(self.gateway.stop(), timeout=timeout)
         self.loop.call_soon_threadsafe(self.loop.stop)
         self._thread.join(timeout=timeout)
+
+
+def _health_payload(gateway: ServeGateway) -> dict:
+    """Health status honouring graceful degradation (satellite of the
+    fault layer: a half-dead pool is *degraded*, not plain ``ok``).
+
+    Always HTTP 200 — the gateway is up and serving; the body tells
+    load balancers and dashboards that tiers are being shed.
+    """
+    payload = {
+        "status": "ok" if gateway.running else "stopping",
+        "virtual_now": gateway.session.now,
+        "speed": gateway.config.speed
+        if gateway.clock.is_realtime else "inf",
+    }
+    deployment = gateway.session.deployment
+    resilience = getattr(deployment, "resilience", None)
+    if resilience is None:
+        return payload
+    alive = deployment.alive_fraction
+    level = resilience.degradation_level(alive)
+    payload["alive_fraction"] = alive
+    payload["degradation_level"] = level
+    if gateway.running and level >= 1:
+        payload["status"] = "degraded"
+    return payload
 
 
 class GatewayHTTPServer(ThreadingHTTPServer):
@@ -147,12 +177,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._stream_live(parse_qs(parsed.query))
             return
         if self.path == "/healthz":
-            self._send_json(200, {
-                "status": "ok" if gateway.running else "stopping",
-                "virtual_now": gateway.session.now,
-                "speed": gateway.config.speed
-                if gateway.clock.is_realtime else "inf",
-            })
+            self._send_json(200, _health_payload(gateway))
         elif self.path == "/metrics":
             body = gateway.prometheus_text().encode()
             self.send_response(200)

@@ -70,12 +70,28 @@ V4_EVENTS = [
     *V3_EVENTS,
 ]
 
-VERSIONED = {1: V1_EVENTS, 2: V2_EVENTS, 3: V3_EVENTS, 4: V4_EVENTS}
+V5_EVENTS = [
+    {
+        "kind": "fault_skipped", "ts": 0.3, "replica_id": 7,
+        "fault_kind": "crash", "reason": "not_provisioned",
+    },
+    {
+        "kind": "fleet_resized", "ts": 0.4, "action": "provision",
+        "replica_id": -1, "hardware": "h100", "fleet_size": 3,
+        "reason": "",
+    },
+    *V4_EVENTS,
+]
+
+VERSIONED = {
+    1: V1_EVENTS, 2: V2_EVENTS, 3: V3_EVENTS, 4: V4_EVENTS,
+    5: V5_EVENTS,
+}
 
 
 class TestBackwardCompat:
     def test_current_version(self):
-        assert TRACE_SCHEMA_VERSION == 4
+        assert TRACE_SCHEMA_VERSION == 5
 
     @pytest.mark.parametrize("version", sorted(VERSIONED))
     def test_old_traces_validate(self, version):
