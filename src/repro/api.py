@@ -76,6 +76,27 @@ ROUTING_STRATEGIES = (
 #: Autoscaling policies a fleet-backed :class:`ServeConfig` accepts.
 FLEET_AUTOSCALERS = ("off", "busy-fraction", "burn-rate")
 
+#: Engine cores a :class:`ServeConfig` can pick: ``"objects"`` is the
+#: reference per-request implementation
+#: (:class:`~repro.engine.replica.ReplicaEngine`), ``"arrays"`` the
+#: struct-of-arrays drop-in
+#: (:class:`~repro.engine.arrays.ArrayReplicaEngine`) — bit-identical
+#: results, vectorized iteration loop (see docs/PERFORMANCE.md).
+ENGINE_KINDS = ("objects", "arrays")
+
+
+def resolve_engine_cls(engine: str) -> type[ReplicaEngine]:
+    """Map an :data:`ENGINE_KINDS` name to its engine class."""
+    if engine == "objects":
+        return ReplicaEngine
+    if engine == "arrays":
+        from repro.engine.arrays import ArrayReplicaEngine
+
+        return ArrayReplicaEngine
+    raise ValueError(
+        f"unknown engine {engine!r}; options: {ENGINE_KINDS}"
+    )
+
 #: Scheduler identifiers accepted by :func:`make_scheduler`.  The
 #: "sarathi-" prefix used in the paper's figures maps to the bare
 #: policies: every baseline here runs on the chunked Sarathi engine.
@@ -259,6 +280,10 @@ class ServeConfig:
         audit: Attribute per-request latency to named phases
             (:mod:`repro.obs.audit`); lands in ``summary.attribution``.
         max_events: Safety valve on simulator events per run.
+        engine: Engine core, one of :data:`ENGINE_KINDS`:
+            ``"objects"`` (reference per-request loop) or ``"arrays"``
+            (struct-of-arrays loop; bit-identical traces and metrics,
+            several times faster on decode-heavy workloads).
     """
 
     deployment: str = "llama3-8b"
@@ -274,8 +299,14 @@ class ServeConfig:
     record_iterations: bool = False
     audit: bool = False
     max_events: int = 50_000_000
+    engine: str = "objects"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"options: {ENGINE_KINDS}"
+            )
         key = self.scheduler.lower().removeprefix("sarathi-")
         if key not in SCHEDULER_KINDS:
             raise ValueError(
@@ -370,6 +401,7 @@ class Session:
         replica_config = ReplicaConfig(
             record_iterations=config.record_iterations
         )
+        engine_cls = resolve_engine_cls(config.engine)
         self.deployment = None
         self.fleet = None
         if config.fleet is not None:
@@ -386,11 +418,12 @@ class Session:
                 fault_plan=config.fault_plan,
                 autoscaler=self._fleet_autoscaler(),
                 observer=observer,
+                engine_cls=engine_cls,
             )
             self.engine = None
         elif config.num_replicas == 1:
             built = scheduler if scheduler is not None else self._scheduler()
-            self.engine: ReplicaEngine | None = ReplicaEngine(
+            self.engine: ReplicaEngine | None = engine_cls(
                 self.simulator,
                 self.execution_model,
                 built,
@@ -409,6 +442,7 @@ class Session:
                 simulator=self.simulator,
                 routing=config.routing,
                 observer=observer,
+                engine_cls=engine_cls,
             )
             self.engine = None
 

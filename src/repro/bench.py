@@ -18,6 +18,11 @@ The pinned micro workloads:
 * ``execution_batch_time``    — analytical batch latency
 * ``execution_prefill_time``  — memoized prefill-time lookup
 
+plus the ``engine_soa`` kernel pairs (struct-of-arrays decode advance,
+bulk KV growth and eviction-victim selection vs their per-object
+reference loops) and the ``engine_e2e`` section driving the pinned
+trace through both engine cores (see ``docs/PERFORMANCE.md``).
+
 All workloads are deterministic; wall-clock numbers obviously vary by
 host, which is why each report embeds the host fingerprint (CPU count,
 Python/NumPy versions).  Compare reports only within one host class.
@@ -41,7 +46,11 @@ from typing import Any, Callable
 #: re-run with the no-op observer and with full span tracing, and the
 #: overhead ratios vs the unobserved run (the tentpole bound is <= 5%
 #: with spans on and ~0% with the no-op observer).
-SCHEMA_VERSION = 3
+#: 4 — new ``engine_soa`` micro section (struct-of-arrays kernels vs
+#: their per-object reference loops) and ``engine_e2e`` section (the
+#: same pinned trace driven end to end through both engine cores,
+#: interleaved best-of-N; ``speedup`` is the array engine's headline).
+SCHEMA_VERSION = 4
 
 #: Repo root (``src/repro/bench.py`` -> two levels up from ``repro``).
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -148,6 +157,209 @@ def _micro_benchmarks(quick: bool) -> dict[str, dict[str, float]]:
         reps=reps, loops=loops,
     )
     return results
+
+
+def _engine_soa_micro_benchmarks(quick: bool) -> dict[str, dict[str, float]]:
+    """SoA engine kernels vs the per-object loops they replace.
+
+    Three pinned 48-row workloads, each timed both ways with the same
+    semantics so the ratio is a pure dispatch/layout comparison:
+
+    * ``advance`` — one level-synchronous decode advance
+      (:meth:`ArrayReplicaEngine._advance_vector_all` vs 48
+      :meth:`Request.record_output_token` calls);
+    * ``kv_grow`` — the whole batch grows one token
+      (:meth:`ArrayKVLedger.bulk_decode_grow` vs 48
+      :meth:`KVCacheManager.grow` calls);
+    * ``victim_select`` — stall-recovery victim choice
+      (``np.argmax`` over the deadline column vs ``max()`` over the
+      decode queue).
+
+    Targets and capacity are set far out of reach so the timed loops
+    never complete a request or exhaust KV — every call exercises the
+    steady-state path.
+    """
+    import numpy as np
+
+    from repro.core.qos import Q1_INTERACTIVE
+    from repro.core.request import Request
+    from repro.engine.arrays import ArrayKVLedger, ArrayReplicaEngine, _RowStore
+    from repro.engine.kvcache import KVCacheManager
+
+    reps = 3 if quick else 5
+    loops = 200 if quick else 1000
+    num_rows = 48
+    block_size = 16
+
+    def make_requests() -> list[Request]:
+        requests = []
+        for i in range(num_rows):
+            request = Request(
+                request_id=i,
+                arrival_time=0.001 * i,
+                prompt_tokens=700 + 13 * i,
+                decode_tokens=1 << 40,  # unreachable: no completions
+                qos=Q1_INTERACTIVE,
+            )
+            request.prefill_done = request.prompt_tokens
+            request.record_output_token(0.02)
+            requests.append(request)
+        return requests
+
+    def make_soa_state():
+        """A populated row store + ledger, detached from any engine."""
+        rows = _RowStore()
+        ledger = ArrayKVLedger(10**8, block_size, rows)
+        for request in make_requests():
+            ledger.grow(request.request_id, request.context_length)
+            rows.add(request, *ledger.attach_row(request.request_id))
+        return rows, ledger
+
+    results: dict[str, dict[str, float]] = {}
+
+    # --- advance: one decode token for every row --------------------
+    class _AdvanceHarness:
+        """Just enough engine state for the advance kernel."""
+
+        _advance_vector_all = ArrayReplicaEngine._advance_vector_all
+
+        def __init__(self) -> None:
+            self._rows, _ = make_soa_state()
+            self._rows_dirty = False
+            self._decode_context_total = 0
+
+    harness = _AdvanceHarness()
+    clock = {"now": 0.02}
+
+    def soa_advance() -> None:
+        clock["now"] += 0.01
+        harness._advance_vector_all(clock["now"])
+
+    results["soa_advance"] = _timeit(soa_advance, reps=reps, loops=loops)
+
+    object_requests = make_requests()
+    obj_clock = {"now": 0.02}
+
+    def object_advance() -> None:
+        obj_clock["now"] += 0.01
+        now = obj_clock["now"]
+        for request in object_requests:
+            request.record_output_token(now)
+
+    results["object_advance"] = _timeit(
+        object_advance, reps=reps, loops=loops
+    )
+
+    # --- kv_grow: the whole batch grows one token -------------------
+    _, ledger = make_soa_state()
+    results["soa_kv_grow"] = _timeit(
+        lambda: ledger.bulk_decode_grow(num_rows), reps=reps, loops=loops
+    )
+
+    kv = KVCacheManager(10**8, block_size=block_size)
+    for request in make_requests():
+        kv.grow(request.request_id, request.context_length)
+
+    def object_kv_grow() -> None:
+        for request_id in range(num_rows):
+            kv.grow(request_id, 1)
+
+    results["object_kv_grow"] = _timeit(
+        object_kv_grow, reps=reps, loops=loops
+    )
+
+    # --- victim_select: stall-recovery eviction choice --------------
+    class _VictimHarness:
+        _pick_eviction_victim = ArrayReplicaEngine._pick_eviction_victim
+
+        def __init__(self) -> None:
+            self._rows, _ = make_soa_state()
+
+    victim_harness = _VictimHarness()
+    exclude = victim_harness._rows.req[0]
+    results["soa_victim_select"] = _timeit(
+        lambda: victim_harness._pick_eviction_victim(exclude),
+        reps=reps, loops=loops,
+    )
+
+    decode_queue = make_requests()
+    obj_exclude = decode_queue[0]
+
+    def object_victim_select() -> Request | None:
+        candidates = [r for r in decode_queue if r is not obj_exclude]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.next_token_deadline)
+
+    results["object_victim_select"] = _timeit(
+        object_victim_select, reps=reps, loops=loops
+    )
+    return results
+
+
+def _engine_e2e_benchmark(quick: bool) -> dict[str, Any]:
+    """The pinned trace through both engine cores, interleaved.
+
+    Two workloads: the decode-heavy conversational trace (where the
+    level-synchronous loop and decode-stretch fast-forward dominate —
+    the headline number) and the prefill-heavy code trace (where
+    shared planning cost bounds the ratio — the honest lower bound).
+    Repetitions alternate engines so transient host load penalizes
+    both equally; each engine reports its best rep, and the engines
+    are constructed outside the timed region so the ratio measures the
+    iteration loop, not model-table setup.
+    """
+    from repro.engine import ArrayReplicaEngine, ReplicaConfig, ReplicaEngine
+    from repro.experiments.configs import get_execution_model
+    from repro.experiments.runner import build_trace, make_scheduler
+    from repro.simcore import Simulator
+    from repro.workload.datasets import AZURE_CODE, AZURE_CONV
+
+    execution_model = get_execution_model("llama3-8b")
+    num_requests = 60 if quick else 150
+    reps = 3 if quick else 5
+    workloads = {
+        "conv": (AZURE_CONV, 5.0),
+        "code": (AZURE_CODE, 3.0),
+    }
+    engines = {"objects": ReplicaEngine, "arrays": ArrayReplicaEngine}
+
+    report: dict[str, Any] = {"num_requests": num_requests, "reps": reps}
+    for name, (dataset, scale) in workloads.items():
+        base = build_trace(
+            dataset, qps=1.0, num_requests=num_requests, seed=42
+        )
+        best = {key: math.inf for key in engines}
+        completed = {}
+        for _ in range(reps + 1):  # first interleaved pass is warm-up
+            for key, engine_cls in engines.items():
+                simulator = Simulator()
+                engine = engine_cls(
+                    simulator,
+                    execution_model,
+                    make_scheduler("qoserve", execution_model),
+                    ReplicaConfig(),
+                )
+                for request in base.fresh_copy().scaled_arrivals(scale):
+                    engine.submit(request)
+                started = time.perf_counter()
+                simulator.run(max_events=50_000_000)
+                elapsed = time.perf_counter() - started
+                if completed.setdefault(key, len(engine.completed)) != len(
+                    engine.completed
+                ):
+                    raise RuntimeError(f"{name}/{key}: nondeterministic run")
+                best[key] = min(best[key], elapsed)
+        if completed["objects"] != completed["arrays"]:
+            raise RuntimeError(f"{name}: engines disagree on completions")
+        report[name] = {
+            "workload": f"{dataset.name} qps=1.0 x{scale} qoserve",
+            "objects_s": best["objects"],
+            "arrays_s": best["arrays"],
+            "speedup": best["objects"] / best["arrays"],
+            "completed": completed["objects"],
+        }
+    return report
 
 
 def _end_to_end_benchmark(quick: bool) -> dict[str, Any]:
@@ -322,6 +534,8 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
     import numpy as np
 
     micro = _micro_benchmarks(quick)
+    engine_soa = _engine_soa_micro_benchmarks(quick)
+    engine_e2e = _engine_e2e_benchmark(quick)
     end_to_end = _end_to_end_benchmark(quick)
     span_overhead = _span_overhead_benchmark(quick)
     sweep = _sweep_benchmark(quick, jobs)
@@ -332,6 +546,20 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
     derived = {
         "fused_scalar_speedup_vs_pertree": pertree / fused,
         "fused_batch_speedup_vs_pertree": pertree / per_row,
+        "soa_advance_speedup": (
+            engine_soa["object_advance"]["best_us"]
+            / engine_soa["soa_advance"]["best_us"]
+        ),
+        "soa_kv_grow_speedup": (
+            engine_soa["object_kv_grow"]["best_us"]
+            / engine_soa["soa_kv_grow"]["best_us"]
+        ),
+        "soa_victim_select_speedup": (
+            engine_soa["object_victim_select"]["best_us"]
+            / engine_soa["soa_victim_select"]["best_us"]
+        ),
+        "engine_e2e_conv_speedup": engine_e2e["conv"]["speedup"],
+        "engine_e2e_code_speedup": engine_e2e["code"]["speedup"],
     }
     return {
         "schema": SCHEMA_VERSION,
@@ -344,6 +572,8 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
             "cpu_count": os.cpu_count(),
         },
         "micro_us": micro,
+        "engine_soa": engine_soa,
+        "engine_e2e": engine_e2e,
         "derived": derived,
         "end_to_end": end_to_end,
         "span_overhead": span_overhead,

@@ -373,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
              "repro.api.SCHEDULER_KINDS)",
     )
     serve_parser.add_argument(
+        "--engine", default="objects", choices=("objects", "arrays"),
+        help="engine core: the reference per-request loop or the "
+             "struct-of-arrays loop (bit-identical results; see "
+             "docs/PERFORMANCE.md; default: objects)",
+    )
+    serve_parser.add_argument(
         "--num-replicas", type=int, default=1, metavar="N",
         help="replica count (default: 1)",
     )
@@ -727,6 +733,7 @@ def _serve_command(args) -> int:
             session = Session(ServeConfig(
                 deployment=args.deployment,
                 scheduler=args.scheduler,
+                engine=args.engine,
                 chunk_size=args.chunk_size,
                 num_replicas=args.num_replicas,
                 routing=routing,

@@ -69,6 +69,7 @@ class ClusterDeployment:
         routing: str = "round-robin",
         observer=None,
         execution_models: Sequence[ExecutionModel] | None = None,
+        engine_cls: type[ReplicaEngine] | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -89,8 +90,11 @@ class ClusterDeployment:
         self.simulator = simulator or Simulator()
         self.execution_model = execution_model
         self.routing = routing
+        #: Engine implementation every replica (including ones
+        #: provisioned later by elastic subclasses) is built from.
+        self.engine_cls = engine_cls or ReplicaEngine
         self.replicas = [
-            ReplicaEngine(
+            self.engine_cls(
                 self.simulator,
                 per_replica[i],
                 scheduler_factory(),

@@ -345,6 +345,7 @@ class FleetDeployment(ResilientClusterDeployment):
         burn_window: float = 60.0,
         slo_budget: float = 0.01,
         observer=None,
+        engine_cls: type[ReplicaEngine] | None = None,
     ) -> None:
         self.fleet = fleet
         self.autoscaler = autoscaler
@@ -366,6 +367,7 @@ class FleetDeployment(ResilientClusterDeployment):
                 for c in initial_classes
             ],
             observer=observer,
+            engine_cls=engine_cls,
         )
         self.replica_config = replica_config or ReplicaConfig()
         now = self.simulator.now
@@ -719,7 +721,7 @@ class FleetDeployment(ResilientClusterDeployment):
     def _replica_ready(self) -> None:
         cls = self._pending.pop(0)
         now = self.simulator.now
-        engine = ReplicaEngine(
+        engine = self.engine_cls(
             self.simulator,
             ExecutionModel(
                 self.execution_model.model,

@@ -11,8 +11,11 @@ from repro.engine.kvcache import KVCacheManager
 from repro.engine.batch import BatchPlan, IterationRecord, PrefillAssignment
 from repro.engine.interface import EngineView, Scheduler
 from repro.engine.replica import ReplicaConfig, ReplicaEngine
+from repro.engine.arrays import ArrayKVLedger, ArrayReplicaEngine
 
 __all__ = [
+    "ArrayKVLedger",
+    "ArrayReplicaEngine",
     "KVCacheManager",
     "BatchPlan",
     "IterationRecord",

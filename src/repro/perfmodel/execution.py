@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as _np
+
 from repro.perfmodel.hardware import HardwareSpec
 from repro.perfmodel.modelspec import ModelSpec
 
@@ -196,6 +198,87 @@ class ExecutionModel:
         memory = mem_bytes / self._bandwidth
 
         return max(compute, memory) + self._overhead
+
+    def batch_time_flat(
+        self,
+        prefill_chunks: "list[tuple[int, int]] | tuple[tuple[int, int], ...]",
+        num_decodes: int,
+        decode_context_total: int,
+    ) -> float:
+        """:meth:`batch_time` over ``(tokens, context_before)`` pairs.
+
+        The struct-of-arrays engine calls this on its hot path to skip
+        constructing :class:`PrefillChunk`/:class:`BatchShape` objects
+        per iteration.  The float operation sequence mirrors
+        :meth:`batch_time` exactly, so the two are bit-identical for
+        equivalent inputs (pinned by the equivalence test).
+        """
+        prefill_tokens = 0
+        for tokens, _ in prefill_chunks:
+            prefill_tokens += tokens
+        total_tokens = prefill_tokens + num_decodes
+        if total_tokens <= 0:
+            return 0.0
+
+        compute = (
+            self._linear_flops_per_token
+            * total_tokens
+            / (self._peak_flops * self._mfu_linear)
+        )
+        if prefill_tokens > 0:
+            compute_prefill = (
+                self._linear_flops_per_token
+                * prefill_tokens
+                / (
+                    self._peak_flops
+                    * self._gemm_efficiency(prefill_tokens)
+                )
+            )
+            compute = max(compute, compute_prefill)
+
+        attn_flops = 0.0
+        prefill_context_read = 0
+        for tokens, context_before in prefill_chunks:
+            avg_keys = context_before + (tokens + 1) / 2.0
+            attn_flops += self._attn_flops_scale * tokens * avg_keys
+            prefill_context_read += context_before
+        attn_flops += self._attn_flops_scale * decode_context_total
+        compute += attn_flops / (self._peak_flops * self._mfu_attention)
+
+        kv_read = self._kv_bytes_per_token * (
+            decode_context_total + prefill_context_read
+        )
+        kv_write = self._kv_bytes_per_token * total_tokens
+        mem_bytes = self._weight_bytes + kv_read + kv_write
+        memory = mem_bytes / self._bandwidth
+
+        return max(compute, memory) + self._overhead
+
+    def decode_batch_times_flat(self, num_decodes: int, decode_context_totals):
+        """Vectorized :meth:`batch_time` for a pure-decode schedule.
+
+        ``decode_context_totals`` is a NumPy int array of context
+        totals, one per future iteration; the return value is the
+        float64 exec-time array.  Each element reproduces the exact
+        float operation sequence of :meth:`batch_time` for the
+        equivalent decode-only :class:`BatchShape` (``num_decodes``
+        must be positive), so the array engine's level-synchronous
+        decode stretches stay bit-identical to per-iteration calls.
+        """
+        compute = (
+            self._linear_flops_per_token
+            * num_decodes
+            / (self._peak_flops * self._mfu_linear)
+        )
+        attn_flops = 0.0 + self._attn_flops_scale * decode_context_totals
+        compute = compute + attn_flops / (
+            self._peak_flops * self._mfu_attention
+        )
+        kv_read = self._kv_bytes_per_token * decode_context_totals
+        kv_write = self._kv_bytes_per_token * num_decodes
+        mem_bytes = self._weight_bytes + kv_read + kv_write
+        memory = mem_bytes / self._bandwidth
+        return _np.maximum(compute, memory) + self._overhead
 
     def decode_batch_time(
         self, num_decodes: int, decode_context_total: int

@@ -20,6 +20,7 @@ class Simulator:
         self._now = float(start_time)
         self._running = False
         self._events_processed = 0
+        self._run_until: float | None = None
 
     @property
     def now(self) -> float:
@@ -41,6 +42,42 @@ class Simulator:
         until the simulation has something to do.
         """
         return self._queue.peek_time()
+
+    @property
+    def run_bound(self) -> float | None:
+        """The ``until`` limit of the in-progress :meth:`run`, if any.
+
+        Lets a component executing inside an event callback (the
+        array engine's level-synchronous decode stretches) avoid
+        advancing the clock past the driver's requested stop time.
+        """
+        return self._run_until
+
+    def fast_forward(self, time: float) -> None:
+        """Advance the clock directly, without processing an event.
+
+        Only legal while no pending event (and no ``until`` bound of
+        an in-progress :meth:`run`) falls before ``time`` — i.e. when
+        the caller has proven the skipped interval is silent.  Used by
+        the array engine to collapse a run of pure-decode iterations
+        into one batched advance.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot fast-forward into the past: {time} < {self._now}"
+            )
+        next_time = self._queue.peek_time()
+        if next_time is not None and next_time < time:
+            raise ValueError(
+                f"cannot fast-forward over a pending event: "
+                f"{next_time} < {time}"
+            )
+        if self._run_until is not None and time > self._run_until:
+            raise ValueError(
+                f"cannot fast-forward past the run bound: "
+                f"{time} > {self._run_until}"
+            )
+        self._now = float(time)
 
     def schedule(
         self,
@@ -82,6 +119,7 @@ class Simulator:
             The simulated time when processing stopped.
         """
         self._running = True
+        self._run_until = until
         processed = 0
         try:
             while self._queue and self._running:
@@ -101,6 +139,7 @@ class Simulator:
                     break
         finally:
             self._running = False
+            self._run_until = None
         if until is not None and self._now < until:
             self._now = until
         return self._now
