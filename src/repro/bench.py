@@ -50,7 +50,11 @@ from typing import Any, Callable
 #: their per-object reference loops) and ``engine_e2e`` section (the
 #: same pinned trace driven end to end through both engine cores,
 #: interleaved best-of-N; ``speedup`` is the array engine's headline).
-SCHEMA_VERSION = 4
+#: 5 — optional ``behavioral_diff`` section (``--diff-baseline``): the
+#: pinned end-to-end trace's recorded events diffed against a stored
+#: baseline via :mod:`repro.obs.diff`, so perf runs assert behavioral
+#: identity, not just speed.
+SCHEMA_VERSION = 5
 
 #: Repo root (``src/repro/bench.py`` -> two levels up from ``repro``).
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -402,6 +406,100 @@ def _end_to_end_benchmark(quick: bool) -> dict[str, Any]:
         "completed": summary.finished,
         "profile": PROFILER.report(),
     }
+
+
+def _capture_pinned_trace(quick: bool) -> list[dict[str, Any]]:
+    """Record the end-to-end benchmark's pinned workload as events.
+
+    Exactly the workload of :func:`_end_to_end_benchmark` (AzCode,
+    qps=3.0, qoserve), run once with full tracing — the event stream
+    is deterministic, so any change between two captures is a real
+    behavior change, not noise.
+    """
+    from repro.experiments.configs import get_execution_model
+    from repro.experiments.runner import (
+        build_trace,
+        make_scheduler,
+        run_replica_trace,
+    )
+    from repro.obs import ListSink, TraceRecorder, TracingObserver
+    from repro.workload.datasets import AZURE_CODE
+
+    execution_model = get_execution_model("llama3-8b")
+    num_requests = 60 if quick else 150
+    base = build_trace(
+        AZURE_CODE, qps=1.0, num_requests=num_requests, seed=42
+    )
+    trace = base.scaled_arrivals(3.0)
+    sink = ListSink()
+    observer = TracingObserver(recorder=TraceRecorder([sink]))
+    scheduler = make_scheduler("qoserve", execution_model)
+    run_replica_trace(
+        execution_model, scheduler, trace, observer=observer
+    )
+    return sink.events
+
+
+def diff_baseline_check(
+    baseline: Path, quick: bool = False
+) -> dict[str, Any]:
+    """``--diff-baseline``: behavioral identity against a stored trace.
+
+    First use (no file at ``baseline``): records the pinned end-to-end
+    trace there and reports ``recorded``.  Later runs re-capture the
+    same workload and diff it against the stored events with
+    :func:`repro.obs.diff.diff_runs`; the returned section carries
+    ``identical`` plus the first-divergence index and goodput delta
+    when behavior changed, and the CLI turns that into a non-zero
+    exit.
+    """
+    import json as _json
+
+    from repro.obs import read_jsonl_trace
+    from repro.obs.diff import diff_runs
+
+    events = _capture_pinned_trace(quick)
+    workload = f"AzCode qps=3.0 qoserve ({'quick' if quick else 'full'})"
+    if not baseline.exists():
+        with baseline.open("w") as sink:
+            for event in events:
+                sink.write(_json.dumps(
+                    event, sort_keys=True, separators=(",", ":")
+                ) + "\n")
+        return {
+            "workload": workload,
+            "baseline": str(baseline),
+            "recorded": True,
+            "num_events": len(events),
+        }
+    base_events = read_jsonl_trace(baseline, validate=False)
+    diff = diff_runs(
+        base_events, events,
+        base_label="baseline", other_label="current",
+    )
+    section: dict[str, Any] = {
+        "workload": workload,
+        "baseline": str(baseline),
+        "recorded": False,
+        "identical": diff.identical,
+        "events": {"baseline": diff.num_events[0],
+                   "current": diff.num_events[1]},
+    }
+    if not diff.identical:
+        section["good_delta"] = diff.goodput["good_delta"]
+        section["cause_goodput_delta"] = {
+            cause: diff.cause_goodput_delta[cause]
+            for cause in sorted(diff.cause_goodput_delta)
+        }
+        if diff.first_divergence is not None:
+            section["first_divergence_index"] = (
+                diff.first_divergence.index
+            )
+            section["first_divergence_kind"] = (
+                (diff.first_divergence.other_event or
+                 diff.first_divergence.base_event or {}).get("kind")
+            )
+    return section
 
 
 def _span_overhead_benchmark(quick: bool) -> dict[str, Any]:

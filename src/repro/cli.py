@@ -10,6 +10,11 @@ Usage::
     python -m repro trace run.jsonl --chrome run_chrome.json
     python -m repro trace run.jsonl --validate
     python -m repro dashboard run.jsonl --out dashboard.html
+    python -m repro dashboard run.jsonl --incidents incidents.jsonl
+    python -m repro diff base.jsonl other.jsonl --json delta.json
+    python -m repro diff a.jsonl b.jsonl --expect-identical
+    python -m repro run arena --scale smoke --jobs 4
+    python -m repro bench --diff-baseline baseline_trace.jsonl
     python -m repro faults validate chaos.json --num-replicas 4
     python -m repro serve --port 8080 --speed 10
     python -m repro serve --replay azure.csv --summary-out run.json
@@ -29,6 +34,15 @@ trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 crashes / slowdowns) and installs it as the process default, so
 fault-aware experiments inject it; ``faults validate`` lints a plan
 file and reports every problem with a clean message.
+
+``diff`` runs the differential forensics of :mod:`repro.obs.diff`
+over two (or more) recorded traces of the same workload: first
+divergence, per-request attribution deltas, and a cause-delta
+accounting that sums exactly to the goodput gap.  ``run arena`` races
+every registered scheduler over a workload sweep and explains each
+loss with the same machinery; ``bench --diff-baseline`` pins the
+benchmark's pinned-trace *behavior* (not just its speed) against a
+recorded baseline.
 
 ``serve`` starts the :mod:`repro.serve` online gateway: a stdlib HTTP
 front end (``POST /v1/completions`` with SSE streaming, ``/metrics``,
@@ -127,6 +141,9 @@ def _registry() -> dict[str, tuple[str, Callable[[Scale], list]]]:
         "fleet-chaos": ("chaos: heterogeneous fleet autoscaling under "
                         "diurnal load + faults, goodput per GPU-hour",
                         runner("fig_fleet_chaos", "run")),
+        "arena": ("policy arena: every scheduler raced over a load "
+                  "sweep, losses explained by cause-delta attribution",
+                  runner("arena", "run")),
     }
 
 
@@ -265,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="job count for the sweep benchmark (default: min(4, "
              "cpu_count))",
     )
+    bench_parser.add_argument(
+        "--diff-baseline", type=Path, default=None, metavar="FILE",
+        help="behavioral-identity gate: record the end-to-end "
+             "benchmark's pinned trace to FILE on first use, then "
+             "diff every later run against it and fail on any "
+             "divergence (repro.obs.diff)",
+    )
+    _hidden_alias(bench_parser, "--diff_baseline", type=Path,
+                  metavar="FILE")
     faults_parser = sub.add_parser(
         "faults", help="fault-plan tooling (repro.faults)"
     )
@@ -348,6 +374,49 @@ def build_parser() -> argparse.ArgumentParser:
              "by default; invalid events are a non-zero exit)",
     )
     _hidden_alias(dashboard_parser, "--no_validate",
+                  action="store_true")
+    dashboard_parser.add_argument(
+        "--incidents", type=Path, default=None, metavar="FILE",
+        help="cross-link a flight-recorder incident JSONL file "
+             "(--incidents-out) into the report",
+    )
+    diff_parser = sub.add_parser(
+        "diff",
+        help="differential forensics between recorded runs of the "
+             "same workload (repro.obs.diff)",
+    )
+    diff_parser.add_argument(
+        "traces", nargs="+", type=Path, metavar="TRACE",
+        help="two or more JSONL traces recorded via --trace-out; the "
+             "first is the baseline every other trace is diffed "
+             "against",
+    )
+    diff_parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="write the full deterministic diff (sorted keys, "
+             "byte-identical across reruns) as JSON to FILE",
+    )
+    diff_parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write a single-file HTML diff report to FILE (multiple "
+             "comparisons are concatenated)",
+    )
+    diff_parser.add_argument(
+        "--context", type=int, default=8, metavar="N",
+        help="shared pre-context events kept around the first "
+             "divergence (default: 8)",
+    )
+    diff_parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation of the input traces",
+    )
+    _hidden_alias(diff_parser, "--no_validate", action="store_true")
+    diff_parser.add_argument(
+        "--expect-identical", action="store_true",
+        help="exit non-zero unless every comparison is byte-identical "
+             "(the engine-parity / determinism assertion mode)",
+    )
+    _hidden_alias(diff_parser, "--expect_identical",
                   action="store_true")
     serve_parser = sub.add_parser(
         "serve",
@@ -539,6 +608,9 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "dashboard":
         return _dashboard_command(args)
+
+    if args.command == "diff":
+        return _diff_command(args)
 
     if args.command == "faults":
         return _faults_command(args)
@@ -933,15 +1005,38 @@ def _top_command(args) -> int:
 
 def _bench_command(args) -> int:
     """Implement ``repro bench``: run the perf-trajectory harness."""
-    from repro.bench import run_bench, write_bench
+    from repro.bench import diff_baseline_check, run_bench, write_bench
 
     report = run_bench(quick=args.quick, jobs=args.jobs)
+    diverged = False
+    if args.diff_baseline is not None:
+        try:
+            section = diff_baseline_check(
+                args.diff_baseline, quick=args.quick
+            )
+        except OSError as error:
+            return _path_error("read --diff-baseline", error)
+        report["behavioral_diff"] = section
+        if section["recorded"]:
+            print(f"behavioral baseline recorded to "
+                  f"{args.diff_baseline} "
+                  f"({section['num_events']} events)")
+        elif section["identical"]:
+            print(f"behavioral diff vs {args.diff_baseline}: "
+                  "byte-identical")
+        else:
+            diverged = True
+            where = section.get("first_divergence_index", "count")
+            print(f"behavioral diff vs {args.diff_baseline}: "
+                  f"DIVERGED at event #{where} "
+                  f"(good_delta={section.get('good_delta', 0):+d})",
+                  file=sys.stderr)
     try:
         path = write_bench(report, out=args.out)
     except OSError as error:
         return _path_error("write bench report", error)
     print(f"benchmark report written to {path}")
-    return 0
+    return 1 if diverged else 0
 
 
 def _faults_command(args) -> int:
@@ -1080,8 +1175,20 @@ def _dashboard_command(args) -> int:
     except (TraceSchemaError, ValueError) as error:
         print(f"invalid trace: {error}", file=sys.stderr)
         return 1
+    incidents = None
+    if args.incidents is not None:
+        from repro.obs import read_incidents
+
+        try:
+            incidents = read_incidents(args.incidents)
+        except OSError as error:
+            return _path_error("read --incidents", error)
+        except ValueError as error:
+            print(f"invalid incident file: {error}", file=sys.stderr)
+            return 1
     data = build_dashboard_data(
-        events, burn_window=args.window, slo_budget=args.slo_budget
+        events, burn_window=args.window, slo_budget=args.slo_budget,
+        incidents=incidents,
     )
     print(render_terminal(data), end="")
     if args.out is not None:
@@ -1093,6 +1200,112 @@ def _dashboard_command(args) -> int:
         except OSError as error:
             return _path_error("write --out", error)
         print(f"html report written to {args.out}")
+    return 0
+
+
+def _diff_command(args) -> int:
+    """Implement ``repro diff``: differential forensics over traces."""
+    import json
+
+    from repro.obs import (
+        TraceSchemaError,
+        diff_runs,
+        read_jsonl_trace,
+        render_diff_html,
+        render_diff_terminal,
+    )
+
+    if len(args.traces) < 2:
+        print("diff needs at least two traces (baseline first)",
+              file=sys.stderr)
+        return 2
+    if args.context < 0:
+        print("--context must be >= 0", file=sys.stderr)
+        return 2
+
+    runs = []
+    for path in args.traces:
+        try:
+            events = read_jsonl_trace(
+                path, validate=not args.no_validate
+            )
+        except OSError as error:
+            return _path_error("read trace", error)
+        except (TraceSchemaError, ValueError) as error:
+            print(f"invalid trace {path}: {error}", file=sys.stderr)
+            return 1
+        runs.append((path, events))
+
+    # Labels: file stems, disambiguated by position when they collide
+    # (diffing run.jsonl against a re-recorded run.jsonl is common).
+    stems = [path.stem for path, _ in runs]
+    labels = [
+        stem if stems.count(stem) == 1 else f"{stem}#{i}"
+        for i, stem in enumerate(stems)
+    ]
+
+    base_events = runs[0][1]
+    diffs = [
+        diff_runs(
+            base_events, events,
+            base_label=labels[0], other_label=labels[i],
+            context=args.context,
+        )
+        for i, (_, events) in enumerate(runs[1:], start=1)
+    ]
+
+    for i, diff in enumerate(diffs):
+        if i:
+            print()
+        print(render_diff_terminal(diff), end="")
+
+    if args.json is not None:
+        payload = (
+            diffs[0].to_dict() if len(diffs) == 1
+            else [diff.to_dict() for diff in diffs]
+        )
+        try:
+            args.json.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as error:
+            return _path_error("write --json", error)
+        print(f"diff json written to {args.json}")
+
+    if args.out is not None:
+        html = "\n".join(
+            render_diff_html(
+                diff,
+                title=f"repro diff — {diff.base_label} vs "
+                      f"{diff.other_label}",
+            )
+            for diff in diffs
+        )
+        try:
+            args.out.write_text(html)
+        except OSError as error:
+            return _path_error("write --out", error)
+        print(f"html report written to {args.out}")
+
+    if args.expect_identical:
+        broken = [diff for diff in diffs if not diff.identical]
+        if broken:
+            for diff in broken:
+                assert diff.first_divergence is not None or (
+                    diff.num_events[0] != diff.num_events[1]
+                )
+                where = (
+                    f"event #{diff.first_divergence.index}"
+                    if diff.first_divergence is not None
+                    else "event counts"
+                )
+                print(
+                    f"{diff.base_label} vs {diff.other_label}: "
+                    f"runs diverge at {where}",
+                    file=sys.stderr,
+                )
+            return 1
+        print("all runs byte-identical")
     return 0
 
 

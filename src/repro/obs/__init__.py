@@ -20,6 +20,10 @@ The subsystem's legs (see ``docs/OBSERVABILITY.md``):
   bounded ring that dumps incident windows around violations);
 * :mod:`repro.obs.dashboard` — the ``repro dashboard`` report
   (terminal summary + single-file HTML with inline SVG);
+* :mod:`repro.obs.diff` — differential run forensics (``repro diff``):
+  request-aligned deltas over the attribution phases, cause-delta
+  goodput accounting that sums exactly to the observed gap, and
+  first-divergence detection with flight-recorder-style context;
 * :mod:`repro.obs.chrome` — a Chrome trace-event exporter
   (``chrome://tracing`` / Perfetto): replicas as processes, batch
   slots as tracks;
@@ -48,6 +52,15 @@ from repro.obs.dashboard import (
     build_dashboard_data,
     render_html,
     render_terminal,
+)
+from repro.obs.diff import (
+    Divergence,
+    RequestDelta,
+    RunDiff,
+    diff_runs,
+    find_first_divergence,
+    render_diff_html,
+    render_diff_terminal,
 )
 from repro.obs.events import (
     EVENT_TYPES,
@@ -141,6 +154,13 @@ __all__ = [
     "build_dashboard_data",
     "render_html",
     "render_terminal",
+    "Divergence",
+    "RequestDelta",
+    "RunDiff",
+    "diff_runs",
+    "find_first_divergence",
+    "render_diff_html",
+    "render_diff_terminal",
     "MultiObserver",
     "RelegationServed",
     "ChunkSized",

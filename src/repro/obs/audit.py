@@ -65,18 +65,22 @@ _TIER_INTERACTIVE: dict[str, bool] = {
 }
 
 
-def _is_interactive(tier: str, qos_class: str) -> bool:
+def is_interactive(tier: str, qos_class: str) -> bool:
     """TTFT-governed (interactive) vs TTLT-governed request.
 
     Schema-v2 ``request_completed`` events carry ``qos_class``
     explicitly; v1 traces fall back to the Table 3 tier-name
     convention, and unknown names default to non-interactive (TTLT
     governance considers every phase, so no cause is structurally
-    unreachable).
+    unreachable).  Shared with :mod:`repro.obs.diff`, which needs the
+    same governance rule to compute deadline slack.
     """
     if qos_class:
         return qos_class == "interactive"
     return _TIER_INTERACTIVE.get(tier, False)
+
+
+_is_interactive = is_interactive
 
 
 @dataclass

@@ -40,13 +40,16 @@ def build_dashboard_data(
     events: Iterable[Mapping[str, Any]],
     burn_window: float = 60.0,
     slo_budget: float = 0.01,
+    incidents: Iterable[Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Reduce a trace to everything the renderers need.
 
     Returns a plain dict: ``tiers`` (per-tier goodput + TTFT/TTLT
     percentile rows), ``burn`` (windowed burn-rate series),
     ``attribution`` (:class:`~repro.obs.audit.AttributionReport`),
-    and run-level counts.
+    and run-level counts.  Pass flight-recorder incidents (the output
+    of :func:`repro.obs.recorder.read_incidents`) to cross-link them
+    into both renderings — ``repro dashboard --incidents``.
     """
     events = list(events)
     burn = BurnRateTracker(window=burn_window, slo_budget=slo_budget)
@@ -110,6 +113,7 @@ def build_dashboard_data(
         "tiers": tiers,
         "burn": burn,
         "attribution": audit_events(events),
+        "incidents": list(incidents) if incidents is not None else [],
     }
 
 
@@ -125,6 +129,27 @@ def _fmt_s(value: float) -> str:
     if value < 120.0:
         return f"{value:.2f}s"
     return f"{value / 60.0:.1f}min"
+
+
+def _describe_incident(incident: Mapping[str, Any]) -> str:
+    """One-line summary of a flight-recorder incident record."""
+    trigger = incident.get("trigger", "?")
+    ts = incident.get("ts")
+    when = f"t={ts:.1f}s" if isinstance(ts, (int, float)) else "t=?"
+    cause = incident.get("dominant_cause") or "unattributed"
+    if trigger == "deadline_violation":
+        what = (
+            f"request {incident.get('request_id')} "
+            f"({incident.get('tier', '?')}) missed deadline"
+        )
+    elif trigger == "burn_rate":
+        what = f"burn rate {incident.get('burn_rate', 0.0):.1f}x budget"
+    else:
+        what = str(trigger)
+    return (
+        f"{when}  {what}  cause: {cause}  "
+        f"[{incident.get('num_events', 0)} ring events]"
+    )
 
 
 def render_terminal(data: Mapping[str, Any]) -> str:
@@ -184,6 +209,11 @@ def render_terminal(data: Mapping[str, Any]) -> str:
     lines += ["", "where the time went (all completed requests):"]
     for name in PHASES:
         lines.append(f"  {name:<18}{share[name]:>7.1%}")
+    incidents = data.get("incidents") or []
+    if incidents:
+        lines += ["", f"flight-recorder incidents ({len(incidents)}):"]
+        for incident in incidents:
+            lines.append(f"  {_describe_incident(incident)}")
     return "\n".join(lines) + "\n"
 
 
@@ -306,6 +336,37 @@ def render_html(data: Mapping[str, Any], title: str = "repro dashboard",
         )
     ) or '<tr><td colspan="2">no violations</td></tr>'
 
+    incidents = data.get("incidents") or []
+    incident_rows = "".join(
+        "<tr><td>{ts}</td><td>{trigger}</td><td>{what}</td>"
+        "<td>{cause}</td><td>{ring}</td></tr>".format(
+            ts=(
+                f"{incident['ts']:.1f}s"
+                if isinstance(incident.get("ts"), (int, float)) else "-"
+            ),
+            trigger=html.escape(str(incident.get("trigger", "?"))),
+            what=html.escape(
+                f"request {incident.get('request_id')} "
+                f"({incident.get('tier', '?')})"
+                if incident.get("trigger") == "deadline_violation"
+                else f"{incident.get('burn_rate', 0.0):.1f}x budget"
+                if incident.get("trigger") == "burn_rate"
+                else "-"
+            ),
+            cause=html.escape(
+                str(incident.get("dominant_cause") or "unattributed")
+            ),
+            ring=incident.get("num_events", 0),
+        )
+        for incident in incidents
+    )
+    incidents_html = (
+        "<h2>Flight-recorder incidents</h2>"
+        "<table><tr><th>when</th><th>trigger</th><th>what</th>"
+        f"<th>dominant cause</th><th>ring events</th></tr>{incident_rows}"
+        "</table>"
+    ) if incidents else ""
+
     span = data["span"]
     return f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
@@ -333,6 +394,7 @@ budget {burn.slo_budget:.1%})</h2>
 {_svg_burn_timeline(burn)}
 <h2>Latency attribution waterfall</h2>
 {_svg_waterfall(attribution)}
+{incidents_html}
 <h2>Violations by dominant cause</h2>
 <table><tr><th>cause</th><th>requests</th></tr>{cause_rows}</table>
 <h2>Per-tier percentiles (p50 / p90 / p99)</h2>

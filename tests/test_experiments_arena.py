@@ -1,0 +1,99 @@
+"""The policy arena: ranking, loss attribution, --jobs determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.arena import ALL_SCHEMES, run
+from repro.experiments.configs import Scale
+
+TINY = Scale(num_requests=24, seed=5, label="arena-tiny")
+SCHEMES = ("qoserve", "fcfs", "medha")
+LOADS = (4.0, 6.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(TINY, schemes=SCHEMES, loads=LOADS)
+
+
+class TestArena:
+    def test_ranked_by_goodput(self, result):
+        assert [row["rank"] for row in result.rows] == [1, 2, 3]
+        goodputs = [row["goodput_pct"] for row in result.rows]
+        assert goodputs == sorted(goodputs, reverse=True)
+        assert {row["scheme"] for row in result.rows} == set(SCHEMES)
+
+    def test_row_accounting(self, result):
+        for row in result.rows:
+            assert row["good"] == row["completed"] - row["violated"]
+            assert row["completed"] == TINY.num_requests * len(LOADS)
+        winner = result.rows[0]
+        assert winner["gap_pp"] == 0.0
+        assert winner["top_loss_cause"] == "-"
+
+    def test_losses_explained(self, result):
+        winner = result.rows[0]["scheme"]
+        losers_behind = [
+            row for row in result.rows[1:] if row["gap_pp"] > 0
+        ]
+        assert losers_behind, "tiny arena should separate schedulers"
+        for row in losers_behind:
+            assert row["top_loss_cause"] != "-"
+            assert 0.0 < row["loss_share_pct"] <= 100.0
+            sentence = next(
+                note for note in result.notes
+                if note.startswith(f"{row['scheme']} loses")
+            )
+            assert winner in sentence
+            assert row["top_loss_cause"] in sentence
+
+    def test_cause_deltas_cover_gap(self, result):
+        # The summed cause deltas reproduce each loser's good-request
+        # gap to the winner exactly (the diff conservation identity,
+        # summed over loads).
+        by_scheme = {row["scheme"]: row for row in result.rows}
+        winner_good = result.rows[0]["good"]
+        for scheme, causes in result.extras["cause_deltas"].items():
+            assert sum(causes.values()) == (
+                by_scheme[scheme]["good"] - winner_good
+            )
+
+    def test_divergence_and_sketches_present(self, result):
+        for scheme, index in result.extras["first_divergence"].items():
+            assert index is None or index >= 0
+        for key, named in (
+            result.extras["phase_delta_sketches"].items()
+        ):
+            scheme, tier = key.split("/")
+            assert scheme in SCHEMES and tier.startswith("Q")
+            assert "ttlt" in named
+
+    def test_serial_vs_jobs_byte_identical(self, result):
+        parallel = run(TINY, schemes=SCHEMES, loads=LOADS, jobs=2)
+        assert parallel.rows == result.rows
+        assert parallel.notes == result.notes
+        assert (
+            parallel.extras["cause_deltas"]
+            == result.extras["cause_deltas"]
+        )
+        serialize = lambda extras: json.dumps(  # noqa: E731
+            {
+                key: {n: s.to_dict() for n, s in named.items()}
+                for key, named in extras.items()
+            },
+            sort_keys=True,
+        )
+        assert serialize(
+            parallel.extras["phase_delta_sketches"]
+        ) == serialize(result.extras["phase_delta_sketches"])
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "rank" in text and "top_loss_cause" in text
+
+    def test_all_schemes_registered(self):
+        # The arena races the full registry by default, so new
+        # schedulers are judged the moment they are registered.
+        assert set(SCHEMES) <= set(ALL_SCHEMES)
+        assert "qoserve" in ALL_SCHEMES and "conserve" in ALL_SCHEMES

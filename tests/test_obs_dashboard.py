@@ -129,3 +129,65 @@ class TestCli:
         assert main(
             ["dashboard", str(trace_file), "--window", "0"]
         ) == 2
+
+
+class TestIncidents:
+    """``repro dashboard --incidents``: flight-recorder cross-links."""
+
+    @pytest.fixture(scope="class")
+    def incidents_file(self, trace_file, events, tmp_path_factory):
+        from repro.obs import record_incidents
+
+        path = tmp_path_factory.mktemp("incidents") / "inc.jsonl"
+        written = record_incidents(events, path)
+        assert written > 0, "overloaded fcfs run should trip incidents"
+        return path
+
+    def test_data_carries_incidents(self, events, incidents_file):
+        from repro.obs import read_incidents
+
+        incidents = read_incidents(incidents_file)
+        data = build_dashboard_data(events, incidents=incidents)
+        assert data["incidents"] == incidents
+        # Without the parameter the key is present but empty, so the
+        # renderers never need to guard for its absence.
+        assert build_dashboard_data(events)["incidents"] == []
+
+    def test_terminal_lists_incidents(self, events, incidents_file):
+        from repro.obs import read_incidents
+
+        data = build_dashboard_data(
+            events, incidents=read_incidents(incidents_file)
+        )
+        text = render_terminal(data)
+        assert "flight-recorder incidents" in text
+        assert "cause:" in text
+
+    def test_html_cross_links_incidents(self, events, incidents_file):
+        from repro.obs import read_incidents
+
+        incidents = read_incidents(incidents_file)
+        html = render_html(
+            build_dashboard_data(events, incidents=incidents),
+            title="t",
+        )
+        assert "Flight-recorder incidents" in html
+        assert "dominant cause" in html
+
+    def test_cli_incidents_flag(self, trace_file, incidents_file,
+                                tmp_path, capsys):
+        out = tmp_path / "report.html"
+        code = main([
+            "dashboard", str(trace_file),
+            "--incidents", str(incidents_file),
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "flight-recorder incidents" in capsys.readouterr().out
+        assert "Flight-recorder incidents" in out.read_text()
+
+    def test_cli_missing_incidents_file(self, trace_file, tmp_path):
+        assert main([
+            "dashboard", str(trace_file),
+            "--incidents", str(tmp_path / "nope.jsonl"),
+        ]) == 1

@@ -1,9 +1,11 @@
-"""Schema-compat regression: v1/v2/v3 traces stay valid under v4.
+"""Schema-compat regression: v1-v4 traces stay valid under v5.
 
 Every schema bump so far added defaulted fields or new kinds only, so
 traces written by older tooling must keep validating, auditing and
 building span trees.  These tests pin that contract with hand-built
-events frozen at each historical version's vocabulary.
+events frozen at each historical version's vocabulary — including the
+v5 fleet vocabulary (``fault_skipped`` / ``fleet_resized``) from the
+heterogeneous-fleet PR.
 """
 
 import pytest
@@ -138,3 +140,57 @@ class TestStrictness:
         event = {**V4_EVENTS[0], "name": 42}
         with pytest.raises(TraceSchemaError):
             validate_event(event)
+
+
+class TestV5Strictness:
+    """The fleet vocabulary validates as strictly as the older kinds."""
+
+    def test_fault_skipped_requires_reason(self):
+        event = dict(V5_EVENTS[0])
+        del event["reason"]
+        with pytest.raises(TraceSchemaError, match="reason"):
+            validate_event(event)
+
+    def test_fault_skipped_type_checked(self):
+        with pytest.raises(TraceSchemaError):
+            validate_event({**V5_EVENTS[0], "replica_id": "seven"})
+
+    def test_fault_skipped_rejects_unknown_field(self):
+        with pytest.raises(TraceSchemaError, match="unexpected fields"):
+            validate_event({**V5_EVENTS[0], "target": 7})
+
+    def test_fleet_resized_requires_fleet_size(self):
+        event = dict(V5_EVENTS[1])
+        del event["fleet_size"]
+        with pytest.raises(TraceSchemaError, match="fleet_size"):
+            validate_event(event)
+
+    def test_fleet_resized_action_type_checked(self):
+        with pytest.raises(TraceSchemaError):
+            validate_event({**V5_EVENTS[1], "action": 1})
+
+    def test_fleet_resized_reason_defaults(self):
+        # ``reason`` was introduced defaulted, so fleet events written
+        # without it stay valid (the v1-style compat guarantee applied
+        # within v5 itself).
+        event = dict(V5_EVENTS[1])
+        del event["reason"]
+        validate_event(event)
+
+    def test_v5_events_ignored_by_audit_and_diff(self):
+        # Fleet bookkeeping must not perturb request forensics: the
+        # audit skips the new kinds, and diffing a v5 trace against
+        # its fleet-event-free projection still aligns every request
+        # (the divergence is the fleet events themselves).
+        from repro.obs import diff_runs
+
+        v4_only = [
+            e for e in V5_EVENTS
+            if e["kind"] not in ("fault_skipped", "fleet_resized")
+        ]
+        diff = diff_runs(V5_EVENTS, v4_only)
+        assert diff.aligned == 1
+        assert not diff.only_base and not diff.only_other
+        assert diff.goodput["good_delta"] == 0
+        assert diff.first_divergence is not None
+        assert diff.first_divergence.index == 0
