@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
-from repro.core.qos import DEFAULT_TIERS
+from repro.core.qos import DEFAULT_TIERS, QoSSpec
 from repro.core.request import Request
 from repro.engine.interface import Scheduler
 from repro.engine.replica import ReplicaConfig, ReplicaEngine
@@ -284,6 +284,13 @@ class ServeConfig:
             ``"objects"`` (reference per-request loop) or ``"arrays"``
             (struct-of-arrays loop; bit-identical traces and metrics,
             several times faster on decode-heavy workloads).
+        kv_reuse: Cross-request KV prefix reuse, one of
+            :data:`~repro.engine.replica.ReplicaConfig.KV_REUSE_KINDS`:
+            ``"off"`` (every request prefills from scratch —
+            byte-identical to stacks predating the prefix cache) or
+            ``"radix"`` (requests whose ``token_ids`` share a prefix
+            with resident KV skip that prefix's prefill; see
+            :mod:`repro.engine.prefix`).
     """
 
     deployment: str = "llama3-8b"
@@ -300,6 +307,7 @@ class ServeConfig:
     audit: bool = False
     max_events: int = 50_000_000
     engine: str = "objects"
+    kv_reuse: str = "off"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_KINDS:
@@ -333,6 +341,11 @@ class ServeConfig:
             raise ValueError(
                 "fault_plan requires fleet=... (chaos runs on the "
                 "fault-tolerant fleet deployment)"
+            )
+        if self.kv_reuse not in ReplicaConfig.KV_REUSE_KINDS:
+            raise ValueError(
+                f"unknown kv_reuse {self.kv_reuse!r}; "
+                f"options: {ReplicaConfig.KV_REUSE_KINDS}"
             )
 
 
@@ -399,7 +412,8 @@ class Session:
             observer = MultiObserver([collector, effective])
 
         replica_config = ReplicaConfig(
-            record_iterations=config.record_iterations
+            record_iterations=config.record_iterations,
+            kv_reuse=config.kv_reuse,
         )
         engine_cls = resolve_engine_cls(config.engine)
         self.deployment = None
@@ -445,6 +459,8 @@ class Session:
                 engine_cls=engine_cls,
             )
             self.engine = None
+
+        self._conversations = 0
 
     def _fleet_autoscaler(self):
         from repro.cluster.fleet import (
@@ -504,6 +520,39 @@ class Session:
         assert self.engine is not None
         self.engine.submit_now(request)
         return self.engine
+
+    def conversation(
+        self,
+        session_id: str | None = None,
+        *,
+        system_prompt_tokens: int = 0,
+    ) -> "Conversation":
+        """Open a multi-turn conversation handle over this session.
+
+        The returned :class:`Conversation` mints successive
+        :class:`~repro.core.request.Request` turns whose prompts carry
+        the running history (prior prompts and completions), each a
+        strict prefix-extension of the last with concrete
+        ``token_ids`` — so with ``kv_reuse="radix"`` the engine skips
+        every turn's shared-history prefill.  Conversations opened
+        with the same ``system_prompt_tokens`` also share those
+        leading tokens with each other (a shared system prompt).
+
+        Args:
+            session_id: Stable id stamped on every turn; defaults to
+                ``conv-<n>`` numbered per session.
+            system_prompt_tokens: Leading tokens drawn from the
+                session-global shared namespace (identical across all
+                conversations of this session).
+        """
+        index = self._conversations
+        self._conversations += 1
+        return Conversation(
+            self,
+            session_id or f"conv-{index}",
+            system_prompt_tokens=system_prompt_tokens,
+            token_namespace=(index + 1) << 32,
+        )
 
     def cancel(self, request: Request, reason: str) -> bool:
         """Withdraw an unfinished request from whichever replica holds
@@ -615,6 +664,99 @@ class Session:
 
             summary.attribution = audit_events(self._audit_sink.events)
         return summary
+
+
+class Conversation:
+    """Mints the turns of one multi-turn conversation, in order.
+
+    Each turn's prompt is the full running context — every prior
+    prompt and completion — plus the new user message, realised as
+    concrete deterministic ``token_ids`` so the radix prefix cache can
+    recognise the shared history.  Turns carry ``session_id`` and
+    ``parent_request_id`` linking them into a chain.
+
+    The helper only *builds* requests; submit them through
+    :meth:`Session.submit` / :meth:`Session.submit_now` (or hand the
+    field values to the gateway) like any other request.  Created via
+    :meth:`Session.conversation`.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        session_id: str,
+        *,
+        system_prompt_tokens: int = 0,
+        token_namespace: int = 1 << 32,
+    ) -> None:
+        if system_prompt_tokens < 0:
+            raise ValueError("system_prompt_tokens must be >= 0")
+        self.session = session
+        self.session_id = session_id
+        # Shared system-prompt ids are session-global (0..n-1); all
+        # later tokens come from this conversation's own namespace.
+        self._context: list[int] = list(range(system_prompt_tokens))
+        self._next_private = token_namespace
+        self._pending_completion = 0
+        self._last_request_id: int | None = None
+        self.turns = 0
+
+    @property
+    def context_tokens(self) -> int:
+        """Prompt length the *next* turn will carry before its user
+        message (history grows by each turn's completion)."""
+        return len(self._context) + self._pending_completion
+
+    def _mint(self, count: int) -> list[int]:
+        start = self._next_private
+        self._next_private += count
+        return list(range(start, start + count))
+
+    def turn(
+        self,
+        *,
+        request_id: int,
+        user_tokens: int,
+        decode_tokens: int,
+        arrival_time: float = 0.0,
+        qos: QoSSpec | None = None,
+        important: bool = True,
+    ) -> Request:
+        """Build the conversation's next turn.
+
+        Args:
+            request_id: Unique id for the minted request (caller
+                managed, like every other submission path).
+            user_tokens: Length of the new user message appended to
+                the running context (>= 1).
+            decode_tokens: Output budget; the completion joins the
+                context seen by the following turn.
+            arrival_time: The request's arrival anchor.
+            qos: Tier; defaults to the first (interactive) tier.
+            important: Relegation-exemption flag.
+        """
+        if user_tokens < 1:
+            raise ValueError("user_tokens must be >= 1")
+        if self._pending_completion:
+            self._context.extend(self._mint(self._pending_completion))
+            self._pending_completion = 0
+        self._context.extend(self._mint(user_tokens))
+        request = Request(
+            request_id=request_id,
+            arrival_time=arrival_time,
+            prompt_tokens=len(self._context),
+            decode_tokens=decode_tokens,
+            qos=qos or DEFAULT_TIERS[0],
+            app_id=self.session_id,
+            important=important,
+            token_ids=tuple(self._context),
+            session_id=self.session_id,
+            parent_request_id=self._last_request_id,
+        )
+        self._pending_completion = decode_tokens
+        self._last_request_id = request_id
+        self.turns += 1
+        return request
 
 
 def _chain_hooks(existing, hook):

@@ -54,7 +54,11 @@ from typing import Any, Callable
 #: pinned end-to-end trace's recorded events diffed against a stored
 #: baseline via :mod:`repro.obs.diff`, so perf runs assert behavioral
 #: identity, not just speed.
-SCHEMA_VERSION = 5
+#: 6 — new ``prefix_reuse`` section: a pinned decode-heavy multi-turn
+#: session trace served with the radix KV prefix cache off and on;
+#: ``goodput_x`` is the *simulated* goodput ratio (deterministic — the
+#: CI gate asserts >= 1.2), wall times ride along for the trajectory.
+SCHEMA_VERSION = 6
 
 #: Repo root (``src/repro/bench.py`` -> two levels up from ``repro``).
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -580,6 +584,85 @@ def _span_overhead_benchmark(quick: bool) -> dict[str, Any]:
     }
 
 
+def _prefix_reuse_benchmark(quick: bool) -> dict[str, Any]:
+    """Radix prefix reuse vs off on a pinned decode-heavy session trace.
+
+    Multi-turn agent sessions (shared 1024-token system prompt, long
+    completions) at a load where prefilling every turn's full history
+    from scratch overloads the replica.  Both runs replay identical
+    arrivals; ``goodput_x`` compares *simulated* goodput (requests
+    finished within SLO per second of arrival span), which is
+    deterministic for the pinned seed — the ``prefix-smoke`` CI job
+    gates on it staying >= 1.2.  Wall-clock times ride along like
+    every other section but carry no gate.
+    """
+    from dataclasses import replace
+
+    from repro.api import ServeConfig, Session
+    from repro.workload.distributions import LognormalLengths
+    from repro.workload.sessions import AGENT_PROFILE, SessionWorkload
+
+    profile = replace(
+        AGENT_PROFILE,
+        completion=LognormalLengths(p50=500, p90=1200, max_tokens=2048),
+    )
+    num_sessions = 30 if quick else 60
+    load = 0.8
+    base = list(
+        SessionWorkload(profile, session_qps=load, seed=42).build(
+            num_sessions
+        )
+    )
+
+    def run_once(kv_reuse: str) -> dict[str, Any]:
+        session = Session(ServeConfig(
+            scheduler="qoserve", kv_reuse=kv_reuse,
+        ))
+        requests = [r.clone_fresh() for r in base]
+        started = time.perf_counter()
+        for request in requests:
+            session.submit(request)
+        session.drain()
+        elapsed = time.perf_counter() - started
+        good = sum(
+            1 for r in requests
+            if r.is_finished and not r.violated_deadline
+        )
+        span = max(
+            1e-9,
+            max(r.arrival_time for r in requests)
+            - min(r.arrival_time for r in requests),
+        )
+        out: dict[str, Any] = {
+            "goodput_rps": good / span,
+            "wall_s": elapsed,
+        }
+        cache = session.engines[0].prefix_cache
+        if cache is not None:
+            assert cache.total_refs() == 0, "prefix refcounts leaked"
+            lookups = cache.hits + cache.misses
+            out["hit_rate"] = cache.hits / lookups if lookups else 0.0
+            out["prefill_saved_tokens"] = cache.hit_tokens
+            out["evictions"] = cache.evictions
+        return out
+
+    off = run_once("off")
+    radix = run_once("radix")
+    return {
+        "workload": (
+            f"agent sessions x{num_sessions} qps={load} qoserve "
+            "(decode-heavy completions)"
+        ),
+        "num_requests": len(base),
+        "off": off,
+        "radix": radix,
+        "goodput_x": (
+            radix["goodput_rps"] / off["goodput_rps"]
+            if off["goodput_rps"] else float("inf")
+        ),
+    }
+
+
 def _sweep_benchmark(quick: bool, jobs: int | None) -> dict[str, Any]:
     """The pinned mini fig10/11 sweep: serial vs ``jobs`` workers.
 
@@ -637,6 +720,7 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
     end_to_end = _end_to_end_benchmark(quick)
     span_overhead = _span_overhead_benchmark(quick)
     sweep = _sweep_benchmark(quick, jobs)
+    prefix_reuse = _prefix_reuse_benchmark(quick)
 
     pertree = micro["forest_predict_pertree"]["best_us"]
     fused = micro["forest_predict_fused"]["best_us"]
@@ -676,6 +760,7 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
         "end_to_end": end_to_end,
         "span_overhead": span_overhead,
         "sweep": sweep,
+        "prefix_reuse": prefix_reuse,
     }
 
 

@@ -144,6 +144,9 @@ def _registry() -> dict[str, tuple[str, Callable[[Scale], list]]]:
         "arena": ("policy arena: every scheduler raced over a load "
                   "sweep, losses explained by cause-delta attribution",
                   runner("arena", "run")),
+        "fig-prefix": ("radix KV prefix reuse: hit rate x load x "
+                       "scheduler on multi-turn session traffic",
+                       runner("fig_prefix", "run")),
     }
 
 
@@ -447,6 +450,15 @@ def build_parser() -> argparse.ArgumentParser:
              "struct-of-arrays loop (bit-identical results; see "
              "docs/PERFORMANCE.md; default: objects)",
     )
+    serve_parser.add_argument(
+        "--kv-reuse", default="off", choices=("off", "radix"),
+        help="cross-request KV prefix reuse: 'radix' skips prefill "
+             "for prompt prefixes already resident in the KV cache "
+             "(multi-turn sessions, shared system prompts); 'off' is "
+             "byte-identical to stacks without the prefix cache "
+             "(default: off)",
+    )
+    _hidden_alias(serve_parser, "--kv_reuse", choices=("off", "radix"))
     serve_parser.add_argument(
         "--num-replicas", type=int, default=1, metavar="N",
         help="replica count (default: 1)",
@@ -806,6 +818,7 @@ def _serve_command(args) -> int:
                 deployment=args.deployment,
                 scheduler=args.scheduler,
                 engine=args.engine,
+                kv_reuse=args.kv_reuse,
                 chunk_size=args.chunk_size,
                 num_replicas=args.num_replicas,
                 routing=routing,

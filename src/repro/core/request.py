@@ -39,6 +39,16 @@ class Request:
             per-application decode-length history of Section 3.4).
         important: Application hint — True for paid-tier/important
             requests, False for relegation-preferred free-tier traffic.
+        token_ids: Optional concrete prompt token ids (length must
+            equal ``prompt_tokens`` when present).  Only prefix-aware
+            KV reuse reads them; traces without token ids behave
+            exactly as before.
+        session_id: Conversation this request belongs to, if any.
+            Turns of one session share a token-id prefix, which is
+            what the radix KV cache exploits.
+        parent_request_id: The previous turn of the same session, if
+            any (forensics and gateway bookkeeping; the engine does
+            not read it).
 
     Runtime state (owned by the engine):
         prefill_done: Prompt tokens processed so far.
@@ -76,6 +86,9 @@ class Request:
     qos: QoSSpec
     app_id: str = "default"
     important: bool = True
+    token_ids: tuple[int, ...] | None = None
+    session_id: str | None = None
+    parent_request_id: int | None = None
 
     prefill_done: int = 0
     decoded: int = 0
@@ -105,6 +118,15 @@ class Request:
         if self.decode_tokens < 1:
             raise ValueError(
                 f"request {self.request_id}: decode_tokens must be >= 1"
+            )
+        if (
+            self.token_ids is not None
+            and len(self.token_ids) != self.prompt_tokens
+        ):
+            raise ValueError(
+                f"request {self.request_id}: token_ids length "
+                f"{len(self.token_ids)} != prompt_tokens "
+                f"{self.prompt_tokens}"
             )
 
     # --- lifecycle -----------------------------------------------------
@@ -281,4 +303,7 @@ class Request:
             qos=self.qos,
             app_id=self.app_id,
             important=self.important,
+            token_ids=self.token_ids,
+            session_id=self.session_id,
+            parent_request_id=self.parent_request_id,
         )

@@ -236,6 +236,7 @@ class ArrayKVLedger:
         if self.capacity_blocks < 1:
             raise ValueError("capacity smaller than one block")
         self._used_blocks = 0
+        self._used_tokens = 0
         self.high_water_blocks = 0
         # request_id -> (tokens, blocks), or _ROW_BACKED for decode
         # rows (values live in the row store).  Insertion order
@@ -243,6 +244,7 @@ class ArrayKVLedger:
         # value reassignment, release+regrow re-inserts at the end.
         self._holdings: dict[int, tuple[int, int] | None] = {}
         self._rows = rows
+        self._reclaimer = None
 
     # --- KVCacheManager interface ---------------------------------------
 
@@ -255,15 +257,29 @@ class ArrayKVLedger:
         return self.capacity_blocks - self._used_blocks
 
     @property
+    def capacity_tokens(self) -> int:
+        return self.capacity_blocks * self.block_size
+
+    @property
     def used_tokens(self) -> int:
-        rows = self._rows
-        total = 0
-        for request_id, entry in self._holdings.items():
-            if entry is _ROW_BACKED:
-                total += int(rows.kv_tokens[rows.index[request_id]])
-            else:
-                total += entry[0]
-        return total
+        # Running counter (every mutator maintains it), so the
+        # per-iteration telemetry read is O(1) instead of a sweep over
+        # holdings and rows.
+        return self._used_tokens
+
+    @property
+    def reclaimable_blocks(self) -> int:
+        """Blocks the registered reclaimer could free on demand (0
+        with none; see :attr:`KVCacheManager.reclaimable_blocks`)."""
+        if self._reclaimer is None:
+            return 0
+        return self._reclaimer.reclaimable_blocks()
+
+    def set_reclaimer(self, reclaimer) -> None:
+        """Install a prefix cache to raid when allocation would fail;
+        ``None`` keeps every path byte-identical (see
+        :meth:`KVCacheManager.set_reclaimer`)."""
+        self._reclaimer = reclaimer
 
     @property
     def utilization(self) -> float:
@@ -296,12 +312,17 @@ class ArrayKVLedger:
         return max(0, new_blocks - blocks)
 
     def can_grow(self, request_id: int, extra_tokens: int) -> bool:
-        return self.blocks_needed(request_id, extra_tokens) <= self.free_blocks
+        need = self.blocks_needed(request_id, extra_tokens)
+        if self._reclaimer is not None:
+            return need <= self.free_blocks + self._reclaimer.reclaimable_blocks()
+        return need <= self.free_blocks
 
     def grow(self, request_id: int, extra_tokens: int) -> None:
         if extra_tokens < 0:
             raise ValueError("extra_tokens must be non-negative")
         need = self.blocks_needed(request_id, extra_tokens)
+        if need > self.free_blocks and self._reclaimer is not None:
+            self._reclaimer.reclaim(need - self.free_blocks)
         if need > self.free_blocks:
             raise MemoryError(
                 f"KV cache exhausted: need {need} blocks, "
@@ -320,8 +341,37 @@ class ArrayKVLedger:
                 blocks + need,
             )
         self._used_blocks += need
+        self._used_tokens += extra_tokens
         if self._used_blocks > self.high_water_blocks:
             self.high_water_blocks = self._used_blocks
+
+    def shrink(self, request_id: int, tokens: int, blocks: int) -> None:
+        """Give back part of a holding (prefix dedupe / ownership moves).
+
+        Only dict-backed holdings shrink: the prefix cache peels whole
+        leading prompt blocks at prefill finish, before the holding is
+        attached to a decode row.
+        """
+        entry = self._holdings.get(request_id, _ABSENT)
+        if entry is _ABSENT or entry is _ROW_BACKED:
+            raise ValueError(
+                f"shrink requires a dict-backed holding for request "
+                f"{request_id}"
+            )
+        held_tokens, held_blocks = entry
+        if tokens > held_tokens or blocks > held_blocks:
+            raise ValueError(
+                f"shrink exceeds holding for request {request_id}: "
+                f"({tokens} tok, {blocks} blk) from "
+                f"({held_tokens} tok, {held_blocks} blk)"
+            )
+        remaining = (held_tokens - tokens, held_blocks - blocks)
+        if remaining == (0, 0):
+            self._holdings.pop(request_id)
+        else:
+            self._holdings[request_id] = remaining
+        self._used_blocks -= blocks
+        self._used_tokens -= tokens
 
     def release(self, request_id: int) -> int:
         entry = self._holdings.pop(request_id, _ABSENT)
@@ -329,10 +379,13 @@ class ArrayKVLedger:
             return 0
         if entry is _ROW_BACKED:
             rows = self._rows
-            blocks = int(rows.kv_blocks[rows.index[request_id]])
+            i = rows.index[request_id]
+            tokens = int(rows.kv_tokens[i])
+            blocks = int(rows.kv_blocks[i])
         else:
-            blocks = entry[1]
+            tokens, blocks = entry
         self._used_blocks -= blocks
+        self._used_tokens -= tokens
         return blocks
 
     # --- SoA extensions ---------------------------------------------------
@@ -341,9 +394,16 @@ class ArrayKVLedger:
         """Convert a dict holding to row-backed; returns its values.
 
         A value reassignment (not pop/re-insert) so ``holders()``
-        keeps the reference insertion order.
+        keeps the reference insertion order.  A missing holding
+        attaches as (0, 0): prefix dedupe can empty a holding entirely
+        (prompt a multiple of the block size, fully shared), after
+        which decode growth re-populates it through the row.
         """
-        tokens, blocks = self._holdings[request_id]
+        entry = self._holdings.get(request_id, _ABSENT)
+        if entry is _ABSENT:
+            self._holdings[request_id] = _ROW_BACKED
+            return 0, 0
+        tokens, blocks = entry
         self._holdings[request_id] = _ROW_BACKED
         return tokens, blocks
 
@@ -373,6 +433,7 @@ class ArrayKVLedger:
                 kv_tokens[i] = t + 1
                 if t % bs == 0:
                     kv_blocks[i] += 1
+            self._used_tokens += n
             if total:
                 self._used_blocks += total
                 if self._used_blocks > self.high_water_blocks:
@@ -386,6 +447,7 @@ class ArrayKVLedger:
         if total > self.free_blocks:
             return False
         kv_tokens += 1
+        self._used_tokens += n
         if total:
             rows.kv_blocks[:n][boundary] += 1
             self._used_blocks += total
@@ -423,6 +485,7 @@ class ArrayKVLedger:
         t += k
         rows.kv_blocks[:n] += added
         self._used_blocks += need
+        self._used_tokens += n * k
         if self._used_blocks > self.high_water_blocks:
             self.high_water_blocks = self._used_blocks
 
@@ -506,6 +569,9 @@ class ArrayReplicaEngine(ReplicaEngine):
             block_size=self.config.kv_block_size,
             rows=self._rows,
         )
+        if self.prefix_cache is not None:
+            # Rebind the (still empty) radix tree to the array ledger.
+            self._install_prefix_cache()
         self._batch_seq = 0
         #: Row-store version captured when the current iteration's
         #: batch was stamped; if it still matches at finish time, the
@@ -1185,6 +1251,8 @@ class ArrayReplicaEngine(ReplicaEngine):
         rows.sync_row(i)
         context_lost = int(rows.ctx[i])
         self.kv_cache.release(request.request_id)
+        if self.prefix_cache is not None:
+            self.prefix_cache.unlock(request.request_id)
         rows.remove_at(i)
         self._decode_context_total -= context_lost
         request.evict()
@@ -1220,6 +1288,17 @@ class ArrayReplicaEngine(ReplicaEngine):
             assert self.prefill_sink is not None
             self.prefill_sink(request, now)
             return
+        if self.prefix_cache is not None and request.token_ids is not None:
+            created, deduped = self.prefix_cache.insert_and_lock(
+                request.request_id, request.token_ids
+            )
+            self.observer.on_prefix_insert(
+                self.replica_id,
+                now,
+                created,
+                deduped,
+                self.prefix_cache.cached_tokens,
+            )
         if request.decoded == 0:
             request.record_output_token(now)
             self.observer.on_span_start(
@@ -1242,6 +1321,8 @@ class ArrayReplicaEngine(ReplicaEngine):
             rows.remove_at(i)
         else:
             self.kv_cache.release(request.request_id)
+        if self.prefix_cache is not None:
+            self.prefix_cache.unlock(request.request_id)
         self.completed.append(request)
         self.observer.on_span_end("decode", request, now, self.replica_id)
         self.observer.on_request_completed(self.replica_id, request, now)
@@ -1290,6 +1371,9 @@ class ArrayReplicaEngine(ReplicaEngine):
             # still alive; the order among lost requests is free.
             kv_blocks_dropped += self.kv_cache.release(request.request_id)
             request.evict()
+
+        if self.prefix_cache is not None:
+            kv_blocks_dropped += self.prefix_cache.flush()
 
         rows.clear()
         self._decode_context_total = 0
@@ -1341,6 +1425,8 @@ class ArrayReplicaEngine(ReplicaEngine):
             self._pending_handoffs.remove(request)
             resident = True
         self.kv_cache.release(request.request_id)
+        if self.prefix_cache is not None:
+            self.prefix_cache.unlock(request.request_id)
         request.cancel(now, reason)
         self.cancelled.append(request)
         self.observer.on_request_cancelled(self.replica_id, request, now,

@@ -9,6 +9,11 @@ way a paged allocator would, including the block-rounding waste.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.prefix import PrefixReclaimer
+
 
 class KVCacheManager:
     """Block-granular KV-cache bookkeeping for one replica."""
@@ -28,11 +33,16 @@ class KVCacheManager:
         if self.capacity_blocks < 1:
             raise ValueError("capacity smaller than one block")
         self._used_blocks = 0
+        self._used_tokens = 0
         #: Peak block occupancy over the manager's lifetime — the
         #: high-water mark observability and capacity planning read.
         self.high_water_blocks = 0
         # request_id -> (tokens held, blocks held)
         self._holdings: dict[int, tuple[int, int]] = {}
+        # Optional prefix-cache hook consulted when allocation would
+        # otherwise fail; None keeps every code path byte-identical to
+        # a reclaimer-free ledger.
+        self._reclaimer: PrefixReclaimer | None = None
 
     @property
     def used_blocks(self) -> int:
@@ -43,9 +53,41 @@ class KVCacheManager:
         return self.capacity_blocks - self._used_blocks
 
     @property
+    def capacity_tokens(self) -> int:
+        """Usable token capacity (whole blocks only)."""
+        return self.capacity_blocks * self.block_size
+
+    @property
     def used_tokens(self) -> int:
-        """Tokens actually stored (excludes block-rounding waste)."""
-        return sum(tokens for tokens, _ in self._holdings.values())
+        """Tokens actually stored (excludes block-rounding waste).
+
+        Maintained as a running counter so per-iteration telemetry
+        stays O(1) instead of summing every holding.
+        """
+        return self._used_tokens
+
+    @property
+    def reclaimable_blocks(self) -> int:
+        """Blocks the registered reclaimer could free on demand.
+
+        Planners add these to :attr:`free_blocks` when budgeting:
+        unreferenced prefix-cache blocks are resident but spendable,
+        and :meth:`grow` evicts them before failing.  0 with no
+        reclaimer, keeping reuse-off math untouched.
+        """
+        if self._reclaimer is None:
+            return 0
+        return self._reclaimer.reclaimable_blocks()
+
+    def set_reclaimer(self, reclaimer: PrefixReclaimer | None) -> None:
+        """Install a prefix cache to raid when allocation would fail.
+
+        With a reclaimer installed, :meth:`can_grow` counts its
+        evictable blocks as available and :meth:`grow` evicts from it
+        before declaring the cache exhausted.  ``None`` (the default)
+        leaves every path byte-identical to the reclaimer-free ledger.
+        """
+        self._reclaimer = reclaimer
 
     @property
     def utilization(self) -> float:
@@ -75,7 +117,10 @@ class KVCacheManager:
 
     def can_grow(self, request_id: int, extra_tokens: int) -> bool:
         """Whether ``extra_tokens`` more tokens fit for this request."""
-        return self.blocks_needed(request_id, extra_tokens) <= self.free_blocks
+        need = self.blocks_needed(request_id, extra_tokens)
+        if self._reclaimer is not None:
+            return need <= self.free_blocks + self._reclaimer.reclaimable_blocks()
+        return need <= self.free_blocks
 
     def grow(self, request_id: int, extra_tokens: int) -> None:
         """Extend a request's holding by ``extra_tokens`` tokens.
@@ -88,6 +133,8 @@ class KVCacheManager:
         if extra_tokens < 0:
             raise ValueError("extra_tokens must be non-negative")
         need = self.blocks_needed(request_id, extra_tokens)
+        if need > self.free_blocks and self._reclaimer is not None:
+            self._reclaimer.reclaim(need - self.free_blocks)
         if need > self.free_blocks:
             raise MemoryError(
                 f"KV cache exhausted: need {need} blocks, "
@@ -96,11 +143,35 @@ class KVCacheManager:
         tokens, blocks = self._holdings.get(request_id, (0, 0))
         self._holdings[request_id] = (tokens + extra_tokens, blocks + need)
         self._used_blocks += need
+        self._used_tokens += extra_tokens
         if self._used_blocks > self.high_water_blocks:
             self.high_water_blocks = self._used_blocks
+
+    def shrink(self, request_id: int, tokens: int, blocks: int) -> None:
+        """Give back part of a holding (prefix dedupe / ownership moves).
+
+        The remaining holding must still satisfy the block-rounding
+        invariant ``blocks == ceil(tokens / block_size)``; the prefix
+        cache only ever peels whole leading blocks, which preserves it.
+        """
+        held_tokens, held_blocks = self._holdings.get(request_id, (0, 0))
+        if tokens > held_tokens or blocks > held_blocks:
+            raise ValueError(
+                f"shrink exceeds holding for request {request_id}: "
+                f"({tokens} tok, {blocks} blk) from "
+                f"({held_tokens} tok, {held_blocks} blk)"
+            )
+        remaining = (held_tokens - tokens, held_blocks - blocks)
+        if remaining == (0, 0):
+            self._holdings.pop(request_id)
+        else:
+            self._holdings[request_id] = remaining
+        self._used_blocks -= blocks
+        self._used_tokens -= tokens
 
     def release(self, request_id: int) -> int:
         """Free a request's entire holding; returns blocks released."""
         tokens, blocks = self._holdings.pop(request_id, (0, 0))
         self._used_blocks -= blocks
+        self._used_tokens -= tokens
         return blocks

@@ -1,0 +1,342 @@
+"""Radix-tree prefix index for cross-request KV reuse.
+
+Every request today prefills its prompt from scratch, yet multi-turn
+conversations and shared-system-prompt agent/RAG traffic resubmit the
+same leading tokens on every turn.  :class:`RadixPrefixCache` keeps a
+block-granular radix tree over concrete prompt token ids (sglang's
+RadixCache, adapted to the simulator's accounting-only KV ledger): a
+new request whose prompt shares a prefix with resident KV locks that
+path and skips the prefix's prefill work — the execution model only
+ever sees the uncached suffix.
+
+Accounting model
+----------------
+
+Each tree node owns exactly one KV block, held in the ledger under a
+unique *negative* owner id (request ids are >= 0, so the two can never
+collide and the ledger needs no special cases).  A request's private
+holding covers only its uncached suffix plus decode growth; shared
+prefix blocks live under node owners.  Block conservation is exact:
+
+* **Match** (arrival): walking the tree locks the matched path by
+  incrementing every node's reference count root->deepest.  No blocks
+  move.
+* **Insert** (prefill finish): each full prompt block either transfers
+  ownership of a privately-held block to a new node
+  (``shrink(request)`` then ``grow(node)`` — shrink-first, so the pair
+  can never raise), or frees a duplicate block some earlier request
+  already shares (``shrink`` alone).  The inserting request then holds
+  a lock on its own prompt path until it completes.
+* **Unlock** (complete / evict / stall-recovery / cancel): decrements
+  the path.  Nodes at zero references become eviction candidates but
+  stay resident — a relegated victim's pages remain reusable until
+  memory pressure actually reclaims them.
+* **Reclaim**: LRU over unreferenced leaves, driven by the ledger
+  itself when an allocation would otherwise fail (the cache registers
+  as the ledger's *reclaimer*).  Locking increments every ancestor, so
+  a zero-reference node implies a zero-reference subtree and leaves
+  can always be peeled innermost-first.
+* **Flush** (replica crash): releases every node's block
+  unconditionally so the engine's no-leak crash assertion holds.
+
+Determinism: recency is a monotonic integer clock, never wall time,
+and ties break on node creation order, so eviction order is a pure
+function of the event sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.interface import KVLedger
+
+
+@runtime_checkable
+class PrefixReclaimer(Protocol):
+    """What a KV ledger needs from a prefix cache under memory pressure."""
+
+    def reclaimable_blocks(self) -> int:
+        """Blocks that :meth:`reclaim` could free right now."""
+        ...
+
+    def reclaim(self, blocks: int) -> int:
+        """Evict up to ``blocks`` unreferenced blocks; returns freed."""
+        ...
+
+
+class _RadixNode:
+    """One KV block's worth of tokens in the prefix tree."""
+
+    __slots__ = (
+        "tokens",
+        "parent",
+        "children",
+        "depth",
+        "ref_count",
+        "last_access",
+        "owner_id",
+        "alive",
+    )
+
+    def __init__(
+        self,
+        tokens: tuple[int, ...],
+        parent: "_RadixNode | None",
+        owner_id: int,
+    ) -> None:
+        self.tokens = tokens
+        self.parent = parent
+        self.children: dict[tuple[int, ...], _RadixNode] = {}
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.ref_count = 0
+        self.last_access = 0
+        self.owner_id = owner_id
+        self.alive = True
+
+
+class RadixPrefixCache:
+    """Reference-counted radix tree over token-id blocks.
+
+    Args:
+        ledger: The replica's KV ledger; node blocks are held in it
+            under negative owner ids.
+
+    Attributes:
+        hits / misses: Lookup outcomes (a lookup that matches zero
+            blocks counts as a miss).
+        hit_tokens: Total prefill tokens skipped via matches.
+        evictions: Blocks reclaimed by LRU eviction (crash flushes are
+            not evictions and are counted separately).
+        on_evict: Optional callback invoked with the block count each
+            time eviction frees memory — the engine points this at its
+            observer.
+    """
+
+    def __init__(self, ledger: "KVLedger") -> None:
+        self.ledger = ledger
+        self.block_size = ledger.block_size
+        self._root = _RadixNode((), None, owner_id=0)
+        # request_id -> deepest locked node of that request's path
+        self._locked: dict[int, _RadixNode] = {}
+        self._clock = 0
+        self._seq = itertools.count()
+        self._next_owner = -1
+        self._node_count = 0
+        self._evictable = 0
+        # lazy min-heap of (last_access, tiebreak, node); entries whose
+        # recorded access no longer matches the node are stale
+        self._heap: list[tuple[int, int, _RadixNode]] = []
+        self.hits = 0
+        self.misses = 0
+        self.hit_tokens = 0
+        self.evictions = 0
+        self.on_evict: Callable[[int], None] | None = None
+
+    # --- introspection --------------------------------------------------
+
+    @property
+    def cached_blocks(self) -> int:
+        """Blocks resident in the tree (referenced or not)."""
+        return self._node_count
+
+    @property
+    def cached_tokens(self) -> int:
+        """Tokens resident in the tree (always whole blocks)."""
+        return self._node_count * self.block_size
+
+    @property
+    def locked_requests(self) -> list[int]:
+        """Request ids currently holding a locked path."""
+        return list(self._locked)
+
+    def total_refs(self) -> int:
+        """Sum of all node reference counts (0 when no paths locked)."""
+        total = 0
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            total += node.ref_count
+            stack.extend(node.children.values())
+        return total
+
+    def reclaimable_blocks(self) -> int:
+        return self._evictable
+
+    # --- lookup / locking ----------------------------------------------
+
+    def match_and_lock(
+        self,
+        request_id: int,
+        token_ids: Sequence[int],
+        max_tokens: int,
+    ) -> int:
+        """Longest shared-prefix match, locked for ``request_id``.
+
+        Matches whole blocks only, never more than ``max_tokens``
+        tokens (the engine caps at ``prompt_tokens - 1`` so at least
+        one prefill token remains to emit the first output token).
+        Returns the matched token count; 0 records a miss.
+        """
+        if request_id in self._locked:
+            raise RuntimeError(
+                f"request {request_id} already holds a locked prefix path"
+            )
+        bs = self.block_size
+        limit = min(len(token_ids), max_tokens) // bs
+        cur = self._root
+        path: list[_RadixNode] = []
+        for i in range(limit):
+            child = cur.children.get(tuple(token_ids[i * bs : (i + 1) * bs]))
+            if child is None:
+                break
+            path.append(child)
+            cur = child
+        if not path:
+            self.misses += 1
+            return 0
+        for node in path:
+            self._incref(node)
+            self._touch(node)
+        self._locked[request_id] = path[-1]
+        matched = len(path) * bs
+        self.hits += 1
+        self.hit_tokens += matched
+        return matched
+
+    def insert_and_lock(
+        self, request_id: int, token_ids: Sequence[int]
+    ) -> tuple[int, int]:
+        """Publish a finished prefill's prompt blocks into the tree.
+
+        The request must currently hold one private block per full
+        prompt block beyond any path it locked at admission; each such
+        block is either transferred to a new node or freed as a
+        duplicate of an existing one.  On return the request's lock
+        covers its full prompt path (released via :meth:`unlock`).
+        Returns ``(new_blocks, deduped_blocks)``.
+        """
+        bs = self.block_size
+        full = len(token_ids) // bs
+        locked = self._locked.get(request_id)
+        locked_depth = 0 if locked is None else locked.depth
+        cur = self._root
+        path: list[_RadixNode] = []
+        created = 0
+        deduped = 0
+        for i in range(full):
+            block = tuple(token_ids[i * bs : (i + 1) * bs])
+            child = cur.children.get(block)
+            if child is None:
+                child = _RadixNode(block, cur, owner_id=self._next_owner)
+                self._next_owner -= 1
+                # Ownership transfer: shrink first so the paired grow
+                # always has a free block and can never raise.
+                self.ledger.shrink(request_id, bs, 1)
+                self.ledger.grow(child.owner_id, bs)
+                cur.children[block] = child
+                self._node_count += 1
+                self._evictable += 1  # ref 0 until locked below
+                created += 1
+            elif i >= locked_depth:
+                # The request privately recomputed a block an earlier
+                # request already shares; free the duplicate.
+                self.ledger.shrink(request_id, bs, 1)
+                deduped += 1
+            path.append(child)
+            cur = child
+        for node in path[locked_depth:]:
+            self._incref(node)
+        for node in path:
+            self._touch(node)
+        if path:
+            self._locked[request_id] = path[-1]
+        return created, deduped
+
+    def unlock(self, request_id: int) -> None:
+        """Drop ``request_id``'s path locks (idempotent).
+
+        Nodes reaching zero references become LRU eviction candidates
+        but stay resident until memory pressure reclaims them.
+        """
+        node = self._locked.pop(request_id, None)
+        while node is not None and node.parent is not None:
+            self._decref(node)
+            node = node.parent
+
+    # --- eviction -------------------------------------------------------
+
+    def reclaim(self, blocks: int) -> int:
+        """Evict up to ``blocks`` unreferenced leaves, LRU-first."""
+        freed = 0
+        while freed < blocks and self._heap:
+            access, _, node = heapq.heappop(self._heap)
+            if (
+                not node.alive
+                or node.ref_count != 0
+                or node.children
+                or node.last_access != access
+            ):
+                continue  # stale entry
+            self._evict_node(node)
+            freed += 1
+        if freed and self.on_evict is not None:
+            self.on_evict(freed)
+        return freed
+
+    def flush(self) -> int:
+        """Release every node's block (replica crash); returns blocks."""
+        freed = self._node_count
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            self.ledger.release(node.owner_id)
+            node.alive = False
+        self._root.children.clear()
+        self._locked.clear()
+        self._heap.clear()
+        self._evictable = 0
+        self._node_count = 0
+        return freed
+
+    # --- internals ------------------------------------------------------
+
+    def _touch(self, node: _RadixNode) -> None:
+        self._clock += 1
+        node.last_access = self._clock
+
+    def _incref(self, node: _RadixNode) -> None:
+        if node.ref_count == 0:
+            self._evictable -= 1
+        node.ref_count += 1
+
+    def _decref(self, node: _RadixNode) -> None:
+        node.ref_count -= 1
+        if node.ref_count == 0:
+            self._evictable += 1
+            self._touch(node)
+            heapq.heappush(
+                self._heap, (node.last_access, next(self._seq), node)
+            )
+
+    def _evict_node(self, node: _RadixNode) -> None:
+        self.ledger.release(node.owner_id)
+        parent = node.parent
+        assert parent is not None
+        del parent.children[node.tokens]
+        node.alive = False
+        self._node_count -= 1
+        self._evictable -= 1
+        self.evictions += 1
+        if (
+            parent.parent is not None
+            and parent.ref_count == 0
+            and not parent.children
+        ):
+            heapq.heappush(
+                self._heap, (parent.last_access, next(self._seq), parent)
+            )

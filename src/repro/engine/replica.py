@@ -24,6 +24,7 @@ from repro.core.request import Request
 from repro.engine.batch import BatchPlan, IterationRecord, PrefillAssignment
 from repro.engine.interface import EngineView, Scheduler
 from repro.engine.kvcache import KVCacheManager
+from repro.engine.prefix import RadixPrefixCache
 from repro.obs.observer import NULL_OBSERVER, Observer, get_default_observer
 from repro.obs.timing import timed
 from repro.perfmodel.execution import BatchShape, ExecutionModel
@@ -41,12 +42,26 @@ class ReplicaConfig:
         record_iterations: Keep an :class:`IterationRecord` per batch
             (Figure 9 telemetry); off by default to save memory.
         prefill_only: PD-disaggregation prefill-node mode.
+        kv_reuse: Prefix-aware KV reuse policy — ``"radix"`` shares
+            prompt-prefix blocks across requests via
+            :class:`repro.engine.prefix.RadixPrefixCache`; ``"off"``
+            (the default) is byte-identical to a reuse-free engine.
     """
+
+    KV_REUSE_KINDS = ("off", "radix")
 
     max_decode_slots: int = 256
     kv_block_size: int = 16
     record_iterations: bool = False
     prefill_only: bool = False
+    kv_reuse: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.kv_reuse not in self.KV_REUSE_KINDS:
+            raise ValueError(
+                f"kv_reuse must be one of {self.KV_REUSE_KINDS}, "
+                f"got {self.kv_reuse!r}"
+            )
 
 
 class ReplicaEngine:
@@ -93,6 +108,14 @@ class ReplicaEngine:
             capacity_tokens=execution_model.kv_capacity_tokens,
             block_size=self.config.kv_block_size,
         )
+        #: Radix prefix index (``kv_reuse="radix"``), or None; every
+        #: prefix code path in the engine is guarded on it so the
+        #: ``"off"`` mode stays byte-identical to a reuse-free engine.
+        #: Prefill-only nodes ship their KV away at prefill finish, so
+        #: they never populate (and therefore never consult) a tree.
+        self.prefix_cache: RadixPrefixCache | None = None
+        if self.config.kv_reuse == "radix" and not self.config.prefill_only:
+            self._install_prefix_cache()
         self.decode_queue: list[Request] = []
         # Incremental mirror of sum(r.context_length for r in
         # decode_queue): adjusted on admit/evict/finish so the hot
@@ -148,6 +171,27 @@ class ReplicaEngine:
         # scheduler until a completion frees memory, so they cannot
         # immediately re-consume the blocks they just released.
         self._stalled_requests: list[Request] = []
+
+    # --- prefix reuse -----------------------------------------------------
+
+    def _install_prefix_cache(self) -> None:
+        """Bind a fresh radix cache to the current KV ledger.
+
+        Called from ``__init__`` and again by the array engine after it
+        swaps in its own ledger (the tree is empty at both points).
+        """
+        self.prefix_cache = RadixPrefixCache(self.kv_cache)
+        self.kv_cache.set_reclaimer(self.prefix_cache)
+        self.prefix_cache.on_evict = self._notify_prefix_evicted
+
+    def _notify_prefix_evicted(self, blocks: int) -> None:
+        assert self.prefix_cache is not None
+        self.observer.on_prefix_evicted(
+            self.replica_id,
+            self.simulator.now,
+            blocks,
+            self.prefix_cache.cached_tokens,
+        )
 
     # --- submission ------------------------------------------------------
 
@@ -213,12 +257,34 @@ class ReplicaEngine:
             # retry path, a bare engine records the drop.
             self.dropped.append(request)
             return
-        max_tokens = (
-            self.kv_cache.capacity_blocks * self.kv_cache.block_size
-        )
+        max_tokens = self.kv_cache.capacity_tokens
         if request.prefill_target + request.remaining_decode > max_tokens:
             self.rejected.append(request)
             return
+        if (
+            self.prefix_cache is not None
+            and request.token_ids is not None
+            and request.prefill_done == 0
+            and request.folded == 0
+        ):
+            # A matched prefix counts as already-prefilled work: the
+            # scheduler only ever plans the uncached suffix, and the
+            # final chunk (>= 1 token, hence the cap) still emits the
+            # first output token.
+            hit = self.prefix_cache.match_and_lock(
+                request.request_id,
+                request.token_ids,
+                request.prompt_tokens - 1,
+            )
+            if hit:
+                request.prefill_done = hit
+            self.observer.on_prefix_lookup(
+                self.replica_id,
+                request,
+                self.simulator.now,
+                hit,
+                self.prefix_cache.cached_tokens,
+            )
         self.scheduler.enqueue(request, self.simulator.now)
         self.observer.on_span_start(
             "queue", request, self.simulator.now, self.replica_id
@@ -378,6 +444,10 @@ class ReplicaEngine:
         victim = min(holders, key=lambda r: r.prefill_done)
         prefill_lost = victim.prefill_done
         self.kv_cache.release(victim.request_id)
+        if self.prefix_cache is not None:
+            # The victim recomputes from scratch; its shared prefix
+            # stays resident for others until memory pressure evicts it.
+            self.prefix_cache.unlock(victim.request_id)
         self._inflight_prefills.discard(victim.request_id)
         victim.evict()
         self.stall_preemptions += 1
@@ -400,6 +470,8 @@ class ReplicaEngine:
     def _evict_decode(self, request: Request) -> None:
         context_lost = request.context_length
         self.kv_cache.release(request.request_id)
+        if self.prefix_cache is not None:
+            self.prefix_cache.unlock(request.request_id)
         self.decode_queue.remove(request)
         self._decode_context_total -= context_lost
         request.evict()
@@ -471,6 +543,20 @@ class ReplicaEngine:
             assert self.prefill_sink is not None
             self.prefill_sink(request, now)
             return
+        if self.prefix_cache is not None and request.token_ids is not None:
+            # Publish the finished prompt's blocks: privately-held
+            # blocks transfer to (or dedupe against) the shared tree,
+            # and the request keeps its path locked until completion.
+            created, deduped = self.prefix_cache.insert_and_lock(
+                request.request_id, request.token_ids
+            )
+            self.observer.on_prefix_insert(
+                self.replica_id,
+                now,
+                created,
+                deduped,
+                self.prefix_cache.cached_tokens,
+            )
         if request.decoded == 0:
             # The final prefill chunk yields output token 1 (Sec. 2.1).
             request.record_output_token(now)
@@ -490,6 +576,8 @@ class ReplicaEngine:
             self.decode_queue.remove(request)
             self._decode_context_total -= request.context_length
         self.kv_cache.release(request.request_id)
+        if self.prefix_cache is not None:
+            self.prefix_cache.unlock(request.request_id)
         self.completed.append(request)
         self.observer.on_span_end(
             "decode", request, now, self.replica_id
@@ -556,6 +644,11 @@ class ReplicaEngine:
             self.scheduler.remove(request, now)
             kv_blocks_dropped += self.kv_cache.release(request.request_id)
             request.evict()
+        if self.prefix_cache is not None:
+            # Shared prefix blocks die with the replica too; flushing
+            # (all node blocks released, every lock dropped) is what
+            # lets the no-leak assertion below keep holding.
+            kv_blocks_dropped += self.prefix_cache.flush()
         # No-leak invariant: every block belonged to a resident
         # request, so dropping them all must empty the cache.
         leaked = self.kv_cache.holders()
@@ -623,6 +716,8 @@ class ReplicaEngine:
             self._pending_handoffs.remove(request)
             resident = True
         self.kv_cache.release(request.request_id)
+        if self.prefix_cache is not None:
+            self.prefix_cache.unlock(request.request_id)
         request.cancel(now, reason)
         self.cancelled.append(request)
         self.observer.on_request_cancelled(self.replica_id, request, now,

@@ -47,7 +47,11 @@ from typing import Any, ClassVar
 #:   kind (the heterogeneous fleet provisioned, drained or released a
 #:   replica; see :mod:`repro.cluster.fleet`).  New kinds only; every
 #:   v1–v4 trace remains valid.
-TRACE_SCHEMA_VERSION = 5
+#: * **6** — the ``prefix_hit`` kind (a new request's prompt matched a
+#:   shared radix-cached prefix and skipped that prefill work; see
+#:   :mod:`repro.engine.prefix`).  New kinds only; every v1–v5 trace
+#:   remains valid.
+TRACE_SCHEMA_VERSION = 6
 
 
 class TraceSchemaError(ValueError):
@@ -317,6 +321,27 @@ class FleetResized(TraceEvent):
 
 
 @dataclass(frozen=True)
+class PrefixHit(TraceEvent):
+    """An arrival's prompt matched a shared radix-cached prefix.
+
+    ``hit_tokens`` prefill tokens were skipped (the scheduler only
+    ever plans the uncached suffix); ``cached_tokens`` is the tree's
+    resident footprint after locking the matched path.  Misses emit no
+    event — they only bump the ``repro_kv_prefix_misses_total``
+    counter.
+    """
+
+    kind: ClassVar[str] = "prefix_hit"
+
+    replica_id: int
+    request_id: int
+    tier: str
+    hit_tokens: int
+    prompt_tokens: int
+    cached_tokens: int
+
+
+@dataclass(frozen=True)
 class GatewayAdmitted(TraceEvent):
     """The online gateway accepted an arrival into a replica."""
 
@@ -414,6 +439,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestCancelled,
         FaultSkipped,
         FleetResized,
+        PrefixHit,
         GatewayAdmitted,
         GatewayShed,
         SpanStart,

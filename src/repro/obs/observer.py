@@ -33,6 +33,7 @@ from repro.obs.events import (
     IterationScheduled,
     KVCacheSnapshot,
     Preempted,
+    PrefixHit,
     Relegated,
     RelegationServed,
     ReplicaCrashed,
@@ -141,6 +142,42 @@ class Observer:
         self, replica_id: int, request: "Request", now: float
     ) -> None:
         """``request`` produced its final output token."""
+
+    # --- prefix reuse hooks (repro.engine.prefix) -------------------------
+
+    def on_prefix_lookup(
+        self,
+        replica_id: int,
+        request: "Request",
+        now: float,
+        hit_tokens: int,
+        cached_tokens: int,
+    ) -> None:
+        """The radix cache was consulted at admission; ``hit_tokens``
+        prefill tokens were skipped (0 = miss).  ``cached_tokens`` is
+        the tree's resident footprint after the lookup."""
+
+    def on_prefix_insert(
+        self,
+        replica_id: int,
+        now: float,
+        new_blocks: int,
+        deduped_blocks: int,
+        cached_tokens: int,
+    ) -> None:
+        """A finished prefill published its prompt blocks into the
+        radix tree: ``new_blocks`` transferred ownership,
+        ``deduped_blocks`` freed duplicates of already-shared blocks."""
+
+    def on_prefix_evicted(
+        self,
+        replica_id: int,
+        now: float,
+        blocks: int,
+        cached_tokens: int,
+    ) -> None:
+        """Memory pressure reclaimed ``blocks`` unreferenced prefix
+        blocks (LRU order)."""
 
     # --- fault hooks (repro.faults) --------------------------------------
 
@@ -372,6 +409,30 @@ class TracingObserver(Observer):
             "Relegated requests that received opportunistic service",
             ("tier",),
         )
+        self._prefix_hits = reg.counter(
+            "repro_kv_prefix_hits_total",
+            "Arrivals whose prompt matched a radix-cached prefix",
+            ("replica",),
+        )
+        self._prefix_misses = reg.counter(
+            "repro_kv_prefix_misses_total",
+            "Radix-cache lookups that matched no blocks", ("replica",),
+        )
+        self._prefix_evictions = reg.counter(
+            "repro_kv_prefix_evictions_total",
+            "Shared prefix blocks reclaimed under memory pressure",
+            ("replica",),
+        )
+        self._prefix_hit_tokens = reg.counter(
+            "repro_kv_prefix_hit_tokens_total",
+            "Prefill tokens skipped via shared-prefix matches",
+            ("replica",),
+        )
+        self._prefix_cached_tokens = reg.gauge(
+            "repro_kv_prefix_cached_tokens",
+            "Tokens resident in the shared radix prefix tree",
+            ("replica",),
+        )
         self._events_dropped = reg.counter(
             "repro_trace_events_dropped_total",
             "Trace events shed by bounded-memory ring sinks",
@@ -582,6 +643,42 @@ class TracingObserver(Observer):
                 / (request.decoded - 1)
             )
         self.burn_rate.observe(now, violated)
+
+    # --- prefix reuse hooks -----------------------------------------------
+
+    def on_prefix_lookup(
+        self, replica_id, request, now, hit_tokens, cached_tokens
+    ) -> None:
+        replica = str(replica_id)
+        if hit_tokens > 0:
+            self.recorder.emit(PrefixHit(
+                ts=now,
+                replica_id=replica_id,
+                request_id=request.request_id,
+                tier=request.qos.name,
+                hit_tokens=hit_tokens,
+                prompt_tokens=request.prompt_tokens,
+                cached_tokens=cached_tokens,
+            ))
+            self._prefix_hits.labels(replica).inc()
+            self._prefix_hit_tokens.labels(replica).inc(hit_tokens)
+        else:
+            self._prefix_misses.labels(replica).inc()
+        self._prefix_cached_tokens.labels(replica).set(cached_tokens)
+
+    def on_prefix_insert(
+        self, replica_id, now, new_blocks, deduped_blocks, cached_tokens
+    ) -> None:
+        self._prefix_cached_tokens.labels(str(replica_id)).set(
+            cached_tokens
+        )
+
+    def on_prefix_evicted(
+        self, replica_id, now, blocks, cached_tokens
+    ) -> None:
+        replica = str(replica_id)
+        self._prefix_evictions.labels(replica).inc(blocks)
+        self._prefix_cached_tokens.labels(replica).set(cached_tokens)
 
     # --- fault hooks ------------------------------------------------------
 

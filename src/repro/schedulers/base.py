@@ -38,10 +38,14 @@ def pack_prefill_assignments(
     not started (not in ``view.inflight_prefill_ids``) consumes a
     decode slot and is only admitted while KV utilization sits below
     the watermark; every assignment must fit in free KV blocks.
+    Unreferenced prefix-cache blocks count as free on both sides of
+    the ledger (the ledger's ``grow`` reclaims them on demand) —
+    otherwise a cache-full replica would starve its own prefill queue.
     """
     assignments: list[PrefillAssignment] = []
     kv = view.kv_cache
-    free_blocks = kv.free_blocks
+    reclaimable = kv.reclaimable_blocks
+    free_blocks = kv.free_blocks + reclaimable
     free_slots = max(
         0,
         view.max_decode_slots
@@ -49,7 +53,7 @@ def pack_prefill_assignments(
         - len(view.inflight_prefill_ids),
     )
     watermark_blocks = int(kv_start_watermark * kv.capacity_blocks)
-    used_blocks = kv.used_blocks
+    used_blocks = kv.used_blocks - reclaimable
 
     assigned: set[int] = set()
     for request in order:

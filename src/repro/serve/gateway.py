@@ -378,6 +378,9 @@ class ServeGateway:
         important: bool = True,
         app_id: str = "api",
         arrival_time: float | None = None,
+        token_ids: tuple[int, ...] | None = None,
+        session_id: str | None = None,
+        parent_request_id: int | None = None,
     ) -> Request:
         """Accept one request at the current virtual time.
 
@@ -386,6 +389,10 @@ class ServeGateway:
         :class:`AdmissionRefused` when admission sheds it at the door.
         ``arrival_time`` backdates the request's latency anchor (the
         open-loop replay driver uses it); admission still runs now.
+        ``token_ids`` (length ``prompt_tokens``) gives the prompt a
+        concrete identity so stacks with ``kv_reuse="radix"`` can skip
+        prefill for prefixes already resident; ``session_id`` /
+        ``parent_request_id`` link multi-turn conversation turns.
         """
         if not self._running:
             raise RuntimeError("gateway is not running")
@@ -409,6 +416,9 @@ class ServeGateway:
             qos=spec,
             app_id=app_id,
             important=important,
+            token_ids=token_ids,
+            session_id=session_id,
+            parent_request_id=parent_request_id,
         )
         self.offered.append(request)
         self._tickets[request.request_id] = _Ticket(

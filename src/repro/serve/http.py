@@ -6,7 +6,11 @@ bridge into the gateway's asyncio loop with
 
 * ``POST /v1/completions`` — submit a simulated request.  JSON body:
   ``{"prompt_tokens": int, "max_tokens": int, "tier": "Q1",
-  "important": bool, "stream": bool, "app_id": str}``.  With
+  "important": bool, "stream": bool, "app_id": str,
+  "token_ids": [int, ...], "session_id": str,
+  "parent_request_id": int}`` (the last three optional: concrete
+  prompt identity for ``kv_reuse="radix"`` stacks and multi-turn
+  session linkage).  With
   ``stream`` true the response is Server-Sent Events, one
   ``data: {...}`` line per output token and a final ``data: [DONE]``;
   otherwise a single JSON object once the request finishes.  Admission
@@ -244,7 +248,21 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             important = bool(payload.get("important", True))
             stream = bool(payload.get("stream", False))
             app_id = str(payload.get("app_id", "api"))
-        except (KeyError, ValueError, json.JSONDecodeError) as error:
+            raw_ids = payload.get("token_ids")
+            token_ids = (
+                tuple(int(t) for t in raw_ids)
+                if raw_ids is not None else None
+            )
+            raw_session = payload.get("session_id")
+            session_id = (
+                str(raw_session) if raw_session is not None else None
+            )
+            raw_parent = payload.get("parent_request_id")
+            parent_request_id = (
+                int(raw_parent) if raw_parent is not None else None
+            )
+        except (KeyError, ValueError, TypeError,
+                json.JSONDecodeError) as error:
             self._send_json(400, {"error": "bad_request",
                                   "detail": str(error)})
             return
@@ -259,6 +277,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     tier=tier,
                     important=important,
                     app_id=app_id,
+                    token_ids=token_ids,
+                    session_id=session_id,
+                    parent_request_id=parent_request_id,
                 ),
                 timeout=self.server.call_timeout,
             )

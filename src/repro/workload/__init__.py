@@ -28,6 +28,7 @@ from repro.workload.trace import Trace, TraceBuilder
 from repro.workload.analysis import TraceStats, analyze_trace
 from repro.workload.azure_csv import load_azure_trace, write_azure_csv
 from repro.workload.sessions import (
+    AGENT_PROFILE,
     SessionProfile,
     SessionWorkload,
     session_turn_index,
@@ -38,6 +39,7 @@ __all__ = [
     "analyze_trace",
     "load_azure_trace",
     "write_azure_csv",
+    "AGENT_PROFILE",
     "SessionProfile",
     "SessionWorkload",
     "session_turn_index",

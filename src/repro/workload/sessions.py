@@ -44,6 +44,11 @@ class SessionProfile:
             spacing roughly accounts for generation time (open loop).
         max_context: Sessions stop growing past this prompt size (the
             serving context window).
+        shared_prefix_tokens: Leading tokens identical across *every*
+            session — a shared system prompt or RAG template.  Token
+            ids ``0 .. n-1`` open each session's stream before its
+            private tokens, so a radix prefix cache shares them
+            cluster-wide, not just within one conversation.
     """
 
     qos: QoSSpec = Q1_INTERACTIVE
@@ -60,6 +65,22 @@ class SessionProfile:
     think_time_mean: float = 20.0
     service_estimate: float = 5.0
     max_context: int = 8192
+    shared_prefix_tokens: int = 0
+
+
+#: Agent/RAG-style traffic: every session opens with the same 1024
+#: shared system-prompt tokens, exchanges short tool-call-ish turns,
+#: and runs longer conversations with tight think gaps — the profile
+#: the prefix-reuse experiments lean on.
+AGENT_PROFILE = SessionProfile(
+    first_prompt=LognormalLengths(p50=1400, p90=3000, max_tokens=8192),
+    user_turn=LognormalLengths(p50=120, p90=500, max_tokens=2048),
+    completion=LognormalLengths(p50=200, p90=600, max_tokens=1024),
+    mean_turns=6.0,
+    think_time_mean=4.0,
+    service_estimate=2.0,
+    shared_prefix_tokens=1024,
+)
 
 
 class SessionWorkload:
@@ -82,12 +103,34 @@ class SessionWorkload:
         self.session_qps = float(session_qps)
         self.seed = int(seed)
 
+    def _token_ids(self, session_index: int, count: int) -> tuple[int, ...]:
+        """First ``count`` token ids of a session's deterministic stream.
+
+        Position ``k`` maps to the global shared-prefix id ``k`` while
+        ``k < shared_prefix_tokens``, then to a per-session namespace
+        (offset by ``(session_index + 1) * max_context``, which no
+        prompt can outgrow) — a pure counter scheme, so emitting ids
+        costs no RNG draws and leaves lengths and timings untouched.
+        """
+        profile = self.profile
+        shared = min(profile.shared_prefix_tokens, count)
+        base = (session_index + 1) * profile.max_context
+        return tuple(range(shared)) + tuple(
+            range(base + shared, base + count)
+        )
+
     def build(self, num_sessions: int) -> Trace:
         """Generate ``num_sessions`` sessions as one arrival-sorted trace.
 
-        Every request's ``app_id`` is ``session-<n>``; within a session
-        prompts grow by the previous turn's prompt + completion + the
-        new user message, clipped at the context window.
+        Every request's ``app_id`` (and ``session_id``) is
+        ``session-<n>``; within a session prompts grow by the previous
+        turn's prompt + completion + the new user message, clipped at
+        the context window.  Each turn carries concrete ``token_ids``:
+        later turns extend the earlier turn's exact token stream
+        (clipping keeps the *first* ``max_context`` tokens, preserving
+        the prefix property), so a radix KV cache sees true shared
+        prefixes — within a session, and across sessions for the
+        profile's ``shared_prefix_tokens``.
         """
         if num_sessions < 1:
             raise ValueError("num_sessions must be >= 1")
@@ -110,19 +153,24 @@ class SessionWorkload:
             context = int(
                 profile.first_prompt.sample(rng, 1)[0]
             )
+            parent_id: int | None = None
             for turn in range(int(turn_counts[session_index])):
                 decode = int(profile.completion.sample(rng, 1)[0])
-                prompt = min(context, profile.max_context)
+                prompt = max(1, min(context, profile.max_context))
                 requests.append(
                     Request(
                         request_id=request_id,
                         arrival_time=t,
-                        prompt_tokens=max(1, prompt),
+                        prompt_tokens=prompt,
                         decode_tokens=max(1, decode),
                         qos=profile.qos,
                         app_id=f"session-{session_index}",
+                        token_ids=self._token_ids(session_index, prompt),
+                        session_id=f"session-{session_index}",
+                        parent_request_id=parent_id,
                     )
                 )
+                parent_id = request_id
                 request_id += 1
                 # Next turn: history grows by this completion plus a
                 # fresh user message; arrival after think + service.

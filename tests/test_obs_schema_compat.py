@@ -1,11 +1,12 @@
-"""Schema-compat regression: v1-v4 traces stay valid under v5.
+"""Schema-compat regression: v1-v5 traces stay valid under v6.
 
 Every schema bump so far added defaulted fields or new kinds only, so
 traces written by older tooling must keep validating, auditing and
 building span trees.  These tests pin that contract with hand-built
 events frozen at each historical version's vocabulary — including the
 v5 fleet vocabulary (``fault_skipped`` / ``fleet_resized``) from the
-heterogeneous-fleet PR.
+heterogeneous-fleet PR and the v6 ``prefix_hit`` kind from the radix
+KV-reuse PR.
 """
 
 import pytest
@@ -85,15 +86,24 @@ V5_EVENTS = [
     *V4_EVENTS,
 ]
 
+V6_EVENTS = [
+    {
+        "kind": "prefix_hit", "ts": 0.2, "replica_id": 0,
+        "request_id": 9, "tier": "Q1", "hit_tokens": 64,
+        "prompt_tokens": 200, "cached_tokens": 512,
+    },
+    *V5_EVENTS,
+]
+
 VERSIONED = {
     1: V1_EVENTS, 2: V2_EVENTS, 3: V3_EVENTS, 4: V4_EVENTS,
-    5: V5_EVENTS,
+    5: V5_EVENTS, 6: V6_EVENTS,
 }
 
 
 class TestBackwardCompat:
     def test_current_version(self):
-        assert TRACE_SCHEMA_VERSION == 5
+        assert TRACE_SCHEMA_VERSION == 6
 
     @pytest.mark.parametrize("version", sorted(VERSIONED))
     def test_old_traces_validate(self, version):

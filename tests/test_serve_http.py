@@ -200,6 +200,67 @@ class TestEndpoints:
         assert b"unknown tier" in body
 
 
+class TestSessionFieldsOverHTTP:
+    def test_chained_turns_hit_prefix_cache(self):
+        session = Session(
+            ServeConfig(scheduler="fcfs", kv_reuse="radix")
+        )
+        gateway = ServeGateway(
+            session, config=GatewayConfig(speed=10_000.0)
+        )
+        runtime = GatewayRuntime(gateway)
+        runtime.start()
+        server = GatewayHTTPServer(("127.0.0.1", 0), runtime)
+        server.start_background()
+        try:
+            first_ids = list(range(512))
+            status, body = _request(
+                server, "POST", "/v1/completions",
+                {"prompt_tokens": 512, "max_tokens": 4, "tier": "Q2",
+                 "token_ids": first_ids, "session_id": "conv-http"},
+            )
+            assert status == 200
+            first = json.loads(body)
+            assert first["finished"] is True
+            # The follow-up turn extends the first prompt verbatim.
+            status, body = _request(
+                server, "POST", "/v1/completions",
+                {"prompt_tokens": 640, "max_tokens": 4, "tier": "Q2",
+                 "token_ids": first_ids + list(range(10_000, 10_128)),
+                 "session_id": "conv-http",
+                 "parent_request_id": first["request_id"]},
+            )
+            assert status == 200
+            second = json.loads(body)
+            assert second["finished"] is True
+            state = gateway.request_state(second["request_id"])
+            assert state.session_id == "conv-http"
+            assert state.parent_request_id == first["request_id"]
+            cache = session.engines[0].prefix_cache
+            assert cache.hits == 1
+            assert cache.hit_tokens >= 496  # whole blocks of 512 shared
+            assert cache.total_refs() == 0
+        finally:
+            server.stop()
+            runtime.stop()
+
+    def test_malformed_session_fields_400(self, served):
+        _, server = served
+        status, body = _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 16, "max_tokens": 2,
+             "token_ids": ["not-an-int"]},
+        )
+        assert status == 400
+        assert b"bad_request" in body
+        status, body = _request(
+            server, "POST", "/v1/completions",
+            {"prompt_tokens": 16, "max_tokens": 2,
+             "parent_request_id": "zero"},
+        )
+        assert status == 400
+
+
 class TestAdmissionOverHTTP:
     def test_rate_limited_429(self):
         session = Session(ServeConfig(scheduler="fcfs"))
